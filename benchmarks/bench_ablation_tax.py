@@ -1,0 +1,66 @@
+"""Ablation: convergence speed vs the tax rate τ.
+
+Section 3.2, example (2), models convergence as a geometric decay: a
+flow holding ``excess``x its fair share is squeezed in
+``ln(1/excess)/ln(1-τ)`` taxation steps.  This benchmark measures the
+time for the 20.4 ms NewReno flow's per-second goodput to first fall
+within 50% of fair share, across τ values, and checks the ordering the
+model predicts (higher τ converges no slower)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.params import CebinaeParams
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import DEFAULT_POLICY, ScenarioSpec
+
+from conftest import bench_duration_s, run_once
+
+
+def _convergence_time_s(result):
+    """First second when both flows are within 50% of fair share."""
+    series = result.goodput_series_bps
+    fair = result.sim_rate_bps / len(series)
+    for second in range(len(series[0])):
+        rates = [flow[second] for flow in series]
+        if all(abs(rate - fair) <= 0.5 * fair for rate in rates):
+            return float(second)
+    return float("inf")
+
+
+def _run_sweep(duration_s):
+    spec = ScenarioSpec(name="tax_ablation", rate_bps=100e6,
+                        rtts_ms=(20.4, 40.0), buffer_mtus=350,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    scaled = DEFAULT_POLICY.apply(spec)
+    results = {}
+    for tau in (0.01, 0.04, 0.08):
+        params = replace(scaled.cebinae, tau=tau,
+                         delta_port=min(2 * tau, 0.16))
+        results[tau] = run_scenario(replace(scaled, cebinae=params),
+                                    Discipline.CEBINAE,
+                                    collect_series=True)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-tax")
+def test_tax_rate_convergence(benchmark):
+    results = run_once(benchmark, _run_sweep,
+                       max(bench_duration_s(40.0), 20.0))
+    print()
+    print("tau    model steps (1.5x excess)   measured convergence")
+    times = {}
+    for tau, result in results.items():
+        model = CebinaeParams(tau=tau).convergence_steps(1.5)
+        measured = _convergence_time_s(result)
+        times[tau] = measured
+        print(f"{tau:.2f}   {model:10.1f}                 "
+              f"{measured if measured != float('inf') else 'n/a':>6} s"
+              f"   (JFI {result.jfi:.3f})")
+        benchmark.extra_info[f"convergence_s_tau{tau}"] = measured
+    # Ordering shape: the highest tax should converge at least as fast
+    # as the lowest (ties allowed; both may converge immediately at
+    # small scale).
+    assert times[0.08] <= times[0.01] + 5.0

@@ -1,0 +1,39 @@
+"""Figure 10: JFI time series under flow churn.
+
+A population of Vegas flows reaches steady state; a NewReno flow joins
+at ~5 s and a Cubic flow at ~25 s, each dragging fairness down under
+FIFO.  Paper shape: Cebinae's per-second JFI recovers after each
+arrival instead of staying depressed."""
+
+import pytest
+
+from repro.experiments.figures import figure10
+from repro.experiments.report import figure10_report
+from repro.experiments.runner import Discipline
+
+from conftest import bench_duration_s, run_once
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_churn_series(benchmark):
+    duration = max(bench_duration_s(50.0), 35.0)  # Cubic joins at 25 s.
+    result = run_once(benchmark, figure10, duration_s=duration,
+                      num_vegas=16)
+    print()
+    print(figure10_report(result))
+    fifo_series = result.jfi_series(Discipline.FIFO)
+    ceb_series = result.jfi_series(Discipline.CEBINAE)
+    assert len(fifo_series) == int(duration)
+
+    # Before any aggressor joins, everyone is fair everywhere.
+    assert fifo_series[4] > 0.7
+    assert ceb_series[4] > 0.7
+
+    # After the joins settle, Cebinae's fairness should be no worse
+    # than FIFO's (paper: dramatically better).
+    tail = int(duration) - 3
+    fifo_tail = sum(fifo_series[tail:]) / 3
+    ceb_tail = sum(ceb_series[tail:]) / 3
+    benchmark.extra_info["fifo_tail_jfi"] = round(fifo_tail, 3)
+    benchmark.extra_info["cebinae_tail_jfi"] = round(ceb_tail, 3)
+    assert ceb_tail > fifo_tail - 0.1

@@ -1,0 +1,44 @@
+"""Figure 12: sensitivity to the thresholds δp, δf and τ.
+
+16 NewReno flows vs 1 Cubic flow while δp = δf = τ sweep from 1% to
+100%.  Paper shape: JFI stays high across the sweep (Cebinae is robust
+to its parameters), while goodput decays as the thresholds grow and
+collapses at the degenerate 100% setting where every flow is always
+taxed toward zero."""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import figure12
+from repro.experiments.report import figure12_report
+
+from conftest import bench_duration_s, run_once
+
+THRESHOLDS = (0.01, 0.1, 0.5, 1.0) if "CEBINAE_BENCH_DURATION" not in \
+    os.environ else (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_threshold_sweep(benchmark):
+    result = run_once(benchmark, figure12, thresholds=THRESHOLDS,
+                      duration_s=bench_duration_s(25.0))
+    print()
+    print(figure12_report(result))
+    for point in result.cebinae_points:
+        benchmark.extra_info[f"jfi_at_{point.threshold:.0%}"] = \
+            round(point.jfi, 3)
+        benchmark.extra_info[f"goodput_at_{point.threshold:.0%}"] = \
+            round(point.goodput_bps / 1e6, 2)
+
+    by_threshold = {point.threshold: point
+                    for point in result.cebinae_points}
+    # Shape 1: goodput decays with aggressiveness; the degenerate 100%
+    # setting loses most of the link (paper: drops sharply past the
+    # flows' fair share).
+    assert by_threshold[1.0].goodput_bps < \
+        0.7 * by_threshold[0.01].goodput_bps
+    # Shape 2: moderate thresholds keep fairness at least FIFO-grade.
+    assert by_threshold[0.1].jfi > result.fifo_jfi - 0.1
+    # Shape 3: the FQ baseline is near-perfectly fair.
+    assert result.fq_jfi > 0.9

@@ -1,0 +1,50 @@
+"""Figure 9: RTT-asymmetry sweep for Cubic over a 400 Mbps-class link.
+
+4 Cubic flows at a fixed 256 ms RTT compete with 4 Cubic flows whose
+RTT sweeps from 16 ms to 256 ms (asymmetry up to 16x).  Paper shape:
+FIFO's JFI decays as asymmetry grows; FQ and Cebinae hold it high with
+minimal goodput loss."""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import figure9
+from repro.experiments.report import figure9_report
+from repro.experiments.runner import Discipline
+
+from conftest import bench_duration_s, run_once
+
+SWEEP_RTTS_MS = (16, 64, 256) if "CEBINAE_BENCH_DURATION" not in \
+    os.environ else (16, 32, 64, 128, 256)
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_rtt_sweep(benchmark):
+    points = run_once(benchmark, figure9, rtts_ms=SWEEP_RTTS_MS,
+                      duration_s=bench_duration_s(30.0))
+    print()
+    print(figure9_report(points))
+    for point in points:
+        benchmark.extra_info[f"jfi_fifo_rtt{int(point.rtt_ms)}"] = \
+            round(point.jfi(Discipline.FIFO), 3)
+        benchmark.extra_info[f"jfi_ceb_rtt{int(point.rtt_ms)}"] = \
+            round(point.jfi(Discipline.CEBINAE), 3)
+
+    # Shape 1: at the largest asymmetry (16 ms vs 256 ms), Cebinae is
+    # at least as fair as FIFO.
+    worst = points[0]
+    assert worst.rtt_ms == min(p.rtt_ms for p in points)
+    assert worst.jfi(Discipline.CEBINAE) >= \
+        worst.jfi(Discipline.FIFO) - 0.05
+
+    # Shape 2: with symmetric RTTs everyone is fair.
+    symmetric = points[-1]
+    for discipline in Discipline:
+        assert symmetric.jfi(discipline) > 0.8
+
+    # Shape 3: efficiency stays comparable across disciplines.
+    for point in points:
+        fifo_goodput = point.goodput_bps(Discipline.FIFO)
+        assert point.goodput_bps(Discipline.CEBINAE) > \
+            0.75 * fifo_goodput

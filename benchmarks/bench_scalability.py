@@ -1,0 +1,66 @@
+"""The section 5.5 scalability contrast: Cebinae vs AFQ.
+
+AFQ's per-packet fair-queuing emulation needs its calendar
+(``BpR x nQ``) to cover every flow's buffer requirement (Equation 1);
+long-RTT traffic blows through a fixed calendar and gets horizon-
+dropped.  Cebinae's two-queue, eventual enforcement is insensitive to
+RTT.  The benchmark sweeps RTT at a fixed 32-queue budget and also
+contrasts the resource model's queue counts."""
+
+import pytest
+
+from repro.core.resource_model import queues_required
+from repro.experiments.scalability import (format_points, rtt_sweep,
+                                           run_point)
+
+from conftest import bench_duration_s, run_once
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_rtt_sweep_afq_vs_cebinae(benchmark):
+    points = run_once(benchmark, rtt_sweep,
+                      rtts_ms=(20, 80, 320), num_flows=4,
+                      duration_s=bench_duration_s(15.0))
+    print()
+    print(format_points(points))
+    by_key = {(p.mechanism, p.rtt_ms): p for p in points}
+    for (mechanism, rtt), point in by_key.items():
+        benchmark.extra_info[f"{mechanism}_jfi_rtt{rtt:.0f}"] = \
+            round(point.jfi, 3)
+
+    # Shape 1: AFQ horizon drops grow with RTT; Cebinae has none.
+    assert by_key[("afq", 320.0)].horizon_drops >= \
+        by_key[("afq", 20.0)].horizon_drops
+    assert all(point.horizon_drops == 0 for point in points
+               if point.mechanism == "cebinae")
+
+    # Shape 2: at the longest RTT, Cebinae's efficiency holds up at
+    # least as well as AFQ's.
+    afq_long = by_key[("afq", 320.0)]
+    ceb_long = by_key[("cebinae", 320.0)]
+    assert ceb_long.goodput_bps > 0.5 * afq_long.goodput_bps
+
+    # Both remain fair for homogeneous flows everywhere.
+    for point in points:
+        assert point.jfi > 0.6
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_afq_fairness_at_short_rtt(benchmark):
+    """Where Equation (1) is satisfied, AFQ is (near-)perfectly fair —
+    the baseline works, which is what makes the long-RTT contrast
+    meaningful."""
+    point = run_once(benchmark, run_point, "afq", 4, 20.0,
+                     duration_s=bench_duration_s(15.0))
+    benchmark.extra_info["afq_jfi"] = round(point.jfi, 3)
+    assert point.jfi > 0.85
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_queue_budget_model(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: {flows: queues_required(flows, "fq")
+                 for flows in (100, 10_000, 400_000)})
+    assert table[400_000] == 400_000
+    assert queues_required(400_000, "cebinae") == 2

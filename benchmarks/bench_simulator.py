@@ -1,0 +1,56 @@
+"""Microbenchmarks of the substrate itself.
+
+Not a paper artifact: these track the cost of the building blocks
+(event engine, LBF admission, flow-cache updates) so performance
+regressions in the simulator are visible.  Unlike the scenario
+benchmarks these use pytest-benchmark's normal repeated timing."""
+
+import pytest
+
+from repro.core.lbf import FlowGroup, LeakyBucketFilter
+from repro.core.params import CebinaeParams
+from repro.heavyhitter.hashpipe import CebinaeFlowCache
+from repro.netsim.engine import MILLISECOND, Simulator
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1000, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lbf_admission_throughput(benchmark):
+    params = CebinaeParams(dt_ns=100 * MILLISECOND,
+                           vdt_ns=MILLISECOND, l_ns=MILLISECOND)
+    lbf = LeakyBucketFilter(params, 1e9)
+
+    def admit_1k():
+        for i in range(1000):
+            lbf.admit(FlowGroup.TOP, 1500, i * 10_000)
+        lbf.rotate(lbf.base_round_time_ns + params.dt_ns)
+
+    benchmark(admit_1k)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_flow_cache_update_throughput(benchmark):
+    cache = CebinaeFlowCache(stages=2, slots_per_stage=2048)
+
+    def update_1k():
+        for i in range(1000):
+            cache.update(i % 3000, 1500)
+
+    benchmark(update_1k)

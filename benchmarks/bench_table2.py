@@ -1,0 +1,74 @@
+"""Table 2: the 25-row sweep of bandwidths, RTTs, buffers, and CCA
+mixes under FIFO / FQ / Cebinae.
+
+Each benchmark runs one representative slice of the table (grouped by
+link class) and prints measured-vs-paper JFI per row.  Run the full
+25-row sweep with ``cebinae-repro table2`` (results recorded in
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.report import table2_report
+from repro.experiments.runner import Discipline
+from repro.experiments.table2 import TABLE2_ROWS, run_table2
+
+from conftest import bench_duration_s, run_once
+
+#: Representative rows per link class (1-based row numbers): RTT
+#: unfairness, intra-CCA, Vegas starvation, BBR aggression, 10G mix.
+ROWS_100M = (1, 2, 7, 8)
+ROWS_1G = (12, 15, 18, 23)
+ROWS_10G = (24, 25)
+
+
+def _run_rows(row_numbers):
+    rows = [TABLE2_ROWS[number - 1] for number in row_numbers]
+    comparisons = run_table2(rows, duration_s=bench_duration_s())
+    print()
+    print(table2_report(comparisons))
+    return comparisons
+
+
+def _check(benchmark, comparisons):
+    for comparison in comparisons:
+        for discipline, result in comparison.results.items():
+            paper = comparison.row.paper(discipline)
+            key = f"{comparison.row.spec.name}_{discipline.value}"
+            benchmark.extra_info[key + "_jfi"] = round(result.jfi, 3)
+            benchmark.extra_info[key + "_paper_jfi"] = paper.jfi
+            assert 0.0 < result.jfi <= 1.0
+            # Efficiency shape: every discipline keeps the link busy.
+            assert result.total_goodput_bps > 0.5 * result.sim_rate_bps
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_100mbps_rows(benchmark):
+    comparisons = run_once(benchmark, _run_rows, ROWS_100M)
+    _check(benchmark, comparisons)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_1gbps_rows(benchmark):
+    comparisons = run_once(benchmark, _run_rows, ROWS_1G)
+    _check(benchmark, comparisons)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_10gbps_rows(benchmark):
+    comparisons = run_once(benchmark, _run_rows, ROWS_10G)
+    _check(benchmark, comparisons)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_vegas_starvation_shape(benchmark):
+    """Row 8's headline: Cebinae lifts JFI far above FIFO's."""
+    comparisons = run_once(benchmark, _run_rows, (8,))
+    results = comparisons[0].results
+    fifo = results[Discipline.FIFO].jfi
+    cebinae = results[Discipline.CEBINAE].jfi
+    benchmark.extra_info["fifo_jfi"] = round(fifo, 3)
+    benchmark.extra_info["cebinae_jfi"] = round(cebinae, 3)
+    assert cebinae > fifo + 0.2, (
+        f"Cebinae ({cebinae:.3f}) should clearly beat FIFO "
+        f"({fifo:.3f}) on the Vegas-starvation row")

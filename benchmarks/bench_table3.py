@@ -1,0 +1,59 @@
+"""Table 3: Cebinae data-plane resource usage on a 32-port Tofino.
+
+The resource model reproduces the published one- and two-stage rows
+and the scalability argument of section 5.5: Cebinae's queue count is
+constant in the number of flows, against linear for ideal fair
+queuing."""
+
+import pytest
+
+from repro.core.resource_model import (estimate_resources,
+                                       queues_required)
+
+from conftest import run_once
+
+
+def _table3_rows():
+    return [estimate_resources(cache_stages=stages,
+                               slots_per_port=4096)
+            for stages in (1, 2)]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_resource_rows(benchmark):
+    rows = run_once(benchmark, _table3_rows)
+    print()
+    print("Table 3: stages  pipe  PHV[b]  SRAM[KB]  TCAM[KB]  VLIW  Q")
+    for usage in rows:
+        print(f"         {usage.cache_stages:>6}  {usage.pipeline_stages:>4}"
+              f"  {usage.phv_bits:>6}  {usage.sram_kb:>8}"
+              f"  {usage.tcam_kb:>8}  {usage.vliw_instructions:>4}"
+              f"  {usage.queues}")
+        benchmark.extra_info[f"sram_kb_{usage.cache_stages}stage"] = \
+            usage.sram_kb
+    one, two = rows
+    # Paper values (exact calibration checked in unit tests; here the
+    # cross-row structure).
+    assert two.sram_kb > one.sram_kb
+    assert two.phv_bits - one.phv_bits == 105
+    assert one.queues == two.queues == 64
+    for usage in rows:
+        assert usage.max_utilization < 0.25
+
+
+@pytest.mark.benchmark(group="table3")
+def test_queue_scalability_comparison(benchmark):
+    """Section 5.5: constant queues vs flow count."""
+    def sweep():
+        return {flows: {mech: queues_required(flows, mech)
+                        for mech in ("cebinae", "afq", "fq")}
+                for flows in (10, 1000, 400_000)}
+
+    table = run_once(benchmark, sweep)
+    print()
+    print("flows      cebinae  afq  ideal-fq")
+    for flows, row in table.items():
+        print(f"{flows:>9}  {row['cebinae']:>7}  {row['afq']:>3}  "
+              f"{row['fq']:>8}")
+    assert all(row["cebinae"] == 2 for row in table.values())
+    assert table[400_000]["fq"] == 400_000

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has a benchmark module that regenerates its
+rows/series.  Benchmarks run scaled-down (see
+``repro.experiments.scenarios.ScalePolicy``) and short by default so
+the whole harness completes in minutes; set
+``CEBINAE_BENCH_DURATION=60`` (seconds) to reproduce the headline
+numbers recorded in EXPERIMENTS.md, which were measured at 60 s.
+
+Each benchmark prints the same rows/series the paper reports and stores
+the key numbers in ``benchmark.extra_info`` so they appear in
+pytest-benchmark's JSON output.
+"""
+
+import os
+
+import pytest
+
+
+def bench_duration_s(default: float = 12.0) -> float:
+    """Simulated seconds per scenario (env-overridable)."""
+    return float(os.environ.get("CEBINAE_BENCH_DURATION", default))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive scenario exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def duration_s():
+    return bench_duration_s()

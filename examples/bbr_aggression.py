@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""BBR vs a crowd of NewReno flows (the paper's Figure 8a scenario).
+
+BBRv1 ignores loss: it paces at its bandwidth estimate and keeps about
+two bandwidth-delay products in flight, so against any number of
+loss-based flows it holds far more than its fair share.  Cebinae
+detects the BBR flows as bottlenecked heavy hitters and taxes them,
+returning capacity to the NewReno crowd — no per-flow queues required.
+
+Run:
+    python examples/bbr_aggression.py
+"""
+
+from repro.core import CebinaeParams, cebinae_factory
+from repro.fairness import jain_fairness_index
+from repro.netsim import (DropTailQueue, FlowMonitor, Simulator,
+                          build_dumbbell, seconds)
+from repro.tcp import connect_flow, expand_mix
+
+BOTTLENECK_BPS = 20e6
+RTT_S = 0.05
+BUFFER_MTUS = 85           # ~1 BDP at this scale.
+NUM_RENO = 8
+NUM_BBR = 1
+DURATION_S = 40.0
+
+
+def run(label, queue_factory):
+    sim = Simulator()
+    mix = expand_mix([("newreno", NUM_RENO), ("bbr", NUM_BBR)])
+    dumbbell = build_dumbbell([seconds(RTT_S)] * len(mix),
+                              BOTTLENECK_BPS, queue_factory, sim=sim)
+    monitor = FlowMonitor(sim)
+    flows = [connect_flow(dumbbell.senders[i], dumbbell.receivers[i],
+                          cca, monitor=monitor, src_port=10_000 + i)
+             for i, cca in enumerate(mix)]
+    sim.run(until_ns=seconds(DURATION_S))
+    goodputs = [monitor.goodputs_bps(seconds(DURATION_S))[f.flow_id]
+                for f in flows]
+    reno = goodputs[:NUM_RENO]
+    bbr = goodputs[NUM_RENO:]
+    fair = sum(goodputs) / len(goodputs)
+    print(f"{label}:")
+    print(f"  NewReno avg {sum(reno) / NUM_RENO / 1e6:5.2f} Mbps  "
+          f"(min {min(reno) / 1e6:.2f})")
+    print(f"  BBR     avg {sum(bbr) / NUM_BBR / 1e6:5.2f} Mbps  "
+          f"({sum(bbr) / NUM_BBR / fair:.1f}x its fair share)")
+    print(f"  JFI {jain_fairness_index(goodputs):.3f}, total "
+          f"{sum(goodputs) / 1e6:.1f} Mbps\n")
+
+
+def main():
+    run("FIFO drop-tail",
+        lambda spec: DropTailQueue.from_mtu_count(BUFFER_MTUS))
+    params = CebinaeParams.for_link(
+        BOTTLENECK_BPS, BUFFER_MTUS * 1500, max_rtt_ns=seconds(RTT_S),
+        tau=0.05, delta_port=0.10, delta_flow=0.05,
+        min_bottom_rate_fraction=0.02)
+    run("Cebinae", cebinae_factory(params=params,
+                                   buffer_mtus=BUFFER_MTUS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Bottleneck-flow detection on a backbone-scale trace (Figure 13).
+
+Cebinae's only per-flow state is a passive, multi-stage flow cache.
+This example replays a synthetic 10 Gbps backbone trace (Zipf flow
+rates, >400k flows/min — the statistical shape of the paper's CAIDA
+traces) through caches of different sizes, and reports how accurately
+the ⊤ (bottlenecked) flows are detected.
+
+The headline properties: false positives are structurally ~0 (counts
+can only undercount, so a flow can't look bigger than it is), and even
+a 2-stage x 2048-slot cache — a fraction of one switch SRAM block —
+keeps false negatives low at 400k flows/min, roughly 1000x beyond what
+per-flow-queue schemes can track.
+
+Run:
+    python examples/heavy_hitter_detection.py
+"""
+
+from repro.heavyhitter import evaluate_detection
+
+
+def main():
+    print("⊤-flow detection on a synthetic 10 Gbps backbone trace")
+    print(f"{'stages':>7} {'slots':>6} {'interval':>9} "
+          f"{'FPR':>10} {'FNR':>8}")
+    for stages, slots in ((1, 2048), (2, 2048), (4, 2048), (2, 512)):
+        for interval_ms in (20, 100):
+            result = evaluate_detection(
+                stages=stages, slots_per_stage=slots,
+                round_interval_ms=interval_ms, trials=3,
+                trace_duration_s=0.3, flows_per_minute=400_000)
+            print(f"{stages:>7} {slots:>6} {interval_ms:>7}ms "
+                  f"{result.false_positive_rate:>10.2e} "
+                  f"{result.false_negative_rate:>8.4f}")
+
+
+if __name__ == "__main__":
+    main()

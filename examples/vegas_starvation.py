@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Rescuing delay-based flows from loss-based aggressors (Figure 7).
+
+TCP Vegas keeps only a few packets queued and retreats as soon as it
+sees queueing delay; a single loss-based NewReno flow that fills the
+buffer starves an entire population of Vegas flows.  Cebinae observes
+that the NewReno flow is the port's heavy hitter, taxes it, and the
+Vegas flows grow into the released headroom — restoring fairness
+without touching either end host.
+
+Run:
+    python examples/vegas_starvation.py
+"""
+
+from repro.core import CebinaeParams, cebinae_factory
+from repro.fairness import jain_fairness_index
+from repro.netsim import (DropTailQueue, FlowMonitor, Simulator,
+                          build_dumbbell, seconds)
+from repro.tcp import connect_flow, expand_mix
+
+BOTTLENECK_BPS = 50e6
+RTT_S = 0.1
+BUFFER_MTUS = 425          # The paper's 850 MTUs, scaled 2x.
+NUM_VEGAS = 16
+DURATION_S = 60.0
+
+
+def run(label, queue_factory):
+    sim = Simulator()
+    mix = expand_mix([("vegas", NUM_VEGAS), ("newreno", 1)])
+    dumbbell = build_dumbbell([seconds(RTT_S)] * len(mix),
+                              BOTTLENECK_BPS, queue_factory, sim=sim)
+    monitor = FlowMonitor(sim)
+    flows = [connect_flow(dumbbell.senders[i], dumbbell.receivers[i],
+                          cca, monitor=monitor, src_port=10_000 + i)
+             for i, cca in enumerate(mix)]
+    sim.run(until_ns=seconds(DURATION_S))
+    goodputs = [monitor.goodputs_bps(seconds(DURATION_S))[f.flow_id]
+                for f in flows]
+    vegas = goodputs[:NUM_VEGAS]
+    reno = goodputs[NUM_VEGAS]
+    print(f"{label}:")
+    print(f"  16x Vegas: avg {sum(vegas) / NUM_VEGAS / 1e6:5.2f} Mbps "
+          f"(min {min(vegas) / 1e6:.2f})")
+    print(f"  1x NewReno: {reno / 1e6:5.2f} Mbps "
+          f"({reno / sum(goodputs):.0%} of the link)")
+    print(f"  JFI {jain_fairness_index(goodputs):.3f}\n")
+
+
+def main():
+    run("FIFO drop-tail",
+        lambda spec: DropTailQueue.from_mtu_count(BUFFER_MTUS))
+    params = CebinaeParams.for_link(
+        BOTTLENECK_BPS, BUFFER_MTUS * 1500, max_rtt_ns=seconds(RTT_S),
+        tau=0.02, delta_port=0.04, delta_flow=0.02,
+        min_bottom_rate_fraction=0.02)
+    run("Cebinae", cebinae_factory(params=params,
+                                   buffer_mtus=BUFFER_MTUS))
+
+
+if __name__ == "__main__":
+    main()

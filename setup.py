@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+the legacy ``pip install -e .`` code path (setup.py develop), which is
+required in offline environments where PEP 660 editable installs cannot
+build a wheel.
+"""
+
+from setuptools import setup
+
+setup()

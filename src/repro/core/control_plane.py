@@ -1,0 +1,173 @@
+"""Cebinae's control-plane agent (paper Figure 4 and the Figure 6
+timeline).
+
+Per round of length ``dT``:
+
+* at ``t0`` the data plane rotates queue priorities (modelled as the
+  ROTATE packet-generator event);
+* the control plane then has the window ``[t0 + vdT, t0 + vdT + L]`` —
+  after the retired queue has provably drained — to fix the retired
+  queue's rates and apply membership/phase changes.  We model the
+  deadline by applying all changes atomically at ``t0 + vdT + L``.
+
+Every ``P`` rounds the agent recomputes (Figure 4 lines 8-28): it reads
+the port byte counter to classify saturation against ``1 - δp``, polls
+and resets the flow cache, selects the ⊤ set within ``δf`` of the
+maximum flow, and taxes the group's aggregate rate by ``τ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..heavyhitter.hashpipe import select_bottlenecked
+from ..netsim.engine import SECOND, Simulator
+from ..netsim.packet import FlowId
+from .params import CebinaeParams
+from .queue_disc import CebinaeQueueDisc
+
+
+@dataclass
+class ControlPlaneSample:
+    """One recomputation's observations (Figure 1's background shading)."""
+
+    time_ns: int
+    utilization: float
+    saturated: bool
+    top_flows: Set[FlowId] = field(default_factory=set)
+    top_rate_bytes_per_sec: float = 0.0
+    bottom_rate_bytes_per_sec: float = 0.0
+
+
+class CebinaeControlPlane:
+    """The per-port agent driving rotation and reconfiguration."""
+
+    def __init__(self, sim: Simulator, qdisc: CebinaeQueueDisc,
+                 record_history: bool = False) -> None:
+        self.sim = sim
+        self.qdisc = qdisc
+        self.params: CebinaeParams = qdisc.params
+        self.capacity_bytes_per_sec = qdisc.rate_bps / 8.0
+        self.round_counter = 0
+        self._last_port_bytes = 0
+        # Pending configuration, installed on each retired queue.
+        self._pending_top_rate = self.capacity_bytes_per_sec
+        self._pending_bottom_rate = self.capacity_bytes_per_sec
+        self._pending_membership: Optional[Set[FlowId]] = None
+        self._pending_saturated: Optional[bool] = None
+        self.history: Optional[List[ControlPlaneSample]] = (
+            [] if record_history else None)
+        self.recomputations = 0
+        # Bootstrap the round schedule: first rotation after one dT.
+        self.sim.schedule(self.params.dt_ns, self._on_rotate)
+
+    # -- the per-round loop ---------------------------------------------------
+    def _on_rotate(self) -> None:
+        retired = self.qdisc.rotate()
+        self.round_counter += 1
+        delay = self.params.vdt_ns + self.params.l_ns
+        self.sim.schedule(delay, self._apply_config, retired)
+        self.sim.schedule(self.params.dt_ns, self._on_rotate)
+
+    def _apply_config(self, retired_queue: int) -> None:
+        """End of the control window: all changes become visible."""
+        if self.round_counter % self.params.recompute_rounds == 0:
+            self._recompute()
+        if self._pending_saturated is not None:
+            capacity = self.capacity_bytes_per_sec
+            self.qdisc.set_saturated(
+                self._pending_saturated,
+                top_share=self._pending_top_rate / capacity,
+                bottom_share=self._pending_bottom_rate / capacity)
+            self._pending_saturated = None
+        if self._pending_membership is not None:
+            self.qdisc.set_membership(self._pending_membership)
+            self._pending_membership = None
+        self.qdisc.lbf.set_queue_rates(retired_queue,
+                                       self._pending_top_rate,
+                                       self._pending_bottom_rate)
+
+    # -- the every-P-rounds recomputation -----------------------------------------
+    def _recompute(self) -> None:
+        self.recomputations += 1
+        params = self.params
+        window_sec = params.recompute_interval_ns / SECOND
+        byte_count = self.qdisc.port_tx_bytes - self._last_port_bytes
+        self._last_port_bytes = self.qdisc.port_tx_bytes
+        utilization = byte_count / (self.capacity_bytes_per_sec
+                                    * window_sec)
+        # Poll-and-reset every window so counts always span P*dT.
+        flow_bytes = self.qdisc.cache.poll_and_reset()
+        if utilization < 1.0 - params.delta_port:
+            self._configure_unsaturated(utilization)
+            return
+        top, bottleneck_bytes = select_bottlenecked(flow_bytes,
+                                                    params.delta_flow)
+        taxed_bytes = bottleneck_bytes * (1.0 - params.tau)
+        top_rate = taxed_bytes / window_sec
+        top_rate = min(top_rate, self.capacity_bytes_per_sec)
+        bottom_rate = self.capacity_bytes_per_sec - top_rate
+        floor = params.min_bottom_rate_fraction * \
+            self.capacity_bytes_per_sec
+        if bottom_rate < floor:
+            bottom_rate = floor
+            top_rate = self.capacity_bytes_per_sec - floor
+        self._pending_top_rate = top_rate
+        self._pending_bottom_rate = bottom_rate
+        self._pending_membership = top
+        self._pending_saturated = True
+        self._record(utilization, True, top, top_rate, bottom_rate)
+
+    def _configure_unsaturated(self, utilization: float) -> None:
+        """Release all limits so any flow may claim the headroom."""
+        self._pending_top_rate = self.capacity_bytes_per_sec
+        self._pending_bottom_rate = self.capacity_bytes_per_sec
+        self._pending_membership = set()
+        self._pending_saturated = False
+        self._record(utilization, False, set(),
+                     self.capacity_bytes_per_sec,
+                     self.capacity_bytes_per_sec)
+
+    def _record(self, utilization: float, saturated: bool,
+                top: Set[FlowId], top_rate: float,
+                bottom_rate: float) -> None:
+        if self.history is None:
+            return
+        self.history.append(ControlPlaneSample(
+            time_ns=self.sim.now_ns, utilization=utilization,
+            saturated=saturated, top_flows=set(top),
+            top_rate_bytes_per_sec=top_rate,
+            bottom_rate_bytes_per_sec=bottom_rate))
+
+
+def cebinae_factory(params: Optional[CebinaeParams] = None,
+                    buffer_mtus: int = 100,
+                    max_rtt_ns: int = 100_000_000,
+                    record_history: bool = False,
+                    agents: Optional[list] = None):
+    """Queue factory installing Cebinae (data plane + agent) on a port.
+
+    When ``params`` is None, timing parameters are derived per port from
+    its rate and buffer via :meth:`CebinaeParams.for_link`.  Created
+    control-plane agents are appended to ``agents`` (when given) so
+    experiments can inspect their histories.
+    """
+    from ..netsim.packet import MTU_BYTES
+    from ..netsim.topology import PortSpec
+
+    def factory(spec: PortSpec) -> CebinaeQueueDisc:
+        buffer_bytes = buffer_mtus * MTU_BYTES
+        port_params = params
+        if port_params is None:
+            port_params = CebinaeParams.for_link(
+                spec.rate_bps, buffer_bytes, max_rtt_ns=max_rtt_ns)
+        qdisc = CebinaeQueueDisc(spec.sim, port_params, spec.rate_bps,
+                                 buffer_bytes, name=spec.name)
+        agent = CebinaeControlPlane(spec.sim, qdisc,
+                                    record_history=record_history)
+        if agents is not None:
+            agents.append(agent)
+        return qdisc
+
+    return factory

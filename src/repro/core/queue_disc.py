@@ -1,0 +1,158 @@
+"""The Cebinae queue disc: data-plane half of the per-router design.
+
+This class glues the pieces of Figure 3 into a
+:class:`~repro.netsim.queues.QueueDisc` that installs on a bottleneck
+port:
+
+* **Ingress classifier + LBF** (enqueue path): packets of ⊤ flows are
+  matched in an exact table (no hash-collision false positives — the
+  "never make unfairness worse" principle) and admitted through the
+  :class:`~repro.core.lbf.LeakyBucketFilter` into one of two priority
+  queues, delayed, or dropped.
+* **Egress accounting** (transmit path): a per-port byte counter for
+  saturation detection and the passive flow cache for bottleneck-flow
+  detection.
+
+The control plane half lives in
+:class:`~repro.core.control_plane.CebinaeControlPlane`.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Optional, Set
+
+from ..heavyhitter.hashpipe import CebinaeFlowCache, ExactFlowCache
+from ..netsim.engine import Simulator
+from ..netsim.packet import FlowId, Packet
+from ..netsim.queues import QueueDisc
+from .lbf import FlowGroup, LbfDecision, LeakyBucketFilter
+from .params import CebinaeParams
+
+
+class CebinaeQueueDisc(QueueDisc):
+    """Two priority queues plus LBF admission and egress accounting."""
+
+    def __init__(self, sim: Simulator, params: CebinaeParams,
+                 rate_bps: float, buffer_bytes: int,
+                 name: str = "cebinae") -> None:
+        super().__init__()
+        params.validate_for_link(rate_bps, buffer_bytes)
+        self.sim = sim
+        self.params = params
+        self.rate_bps = rate_bps
+        self.buffer_bytes = buffer_bytes
+        self.name = name
+        self.lbf = LeakyBucketFilter(params, rate_bps)
+        self._queues: list = [collections.deque(), collections.deque()]
+        self._queue_bytes = [0, 0]
+        #: The ⊤ membership table (exact match, installed by the CP).
+        self.top_flows: Set[FlowId] = set()
+        #: Whether the per-group filter is active (port saturated).
+        self.saturated = False
+        #: Egress pipeline: transmit byte counter and flow cache.
+        self.port_tx_bytes = 0
+        if params.use_exact_cache:
+            self.cache = ExactFlowCache()
+        else:
+            self.cache = CebinaeFlowCache(
+                stages=params.cache_stages,
+                slots_per_stage=params.cache_slots)
+        # Diagnostics.
+        self.lbf_delays = 0
+        self.lbf_drops = 0
+        self.buffer_drops = 0
+        self.ecn_marks = 0
+        self.rotation_residue = 0
+
+    # -- classification --------------------------------------------------------
+    def group_of(self, flow: FlowId) -> FlowGroup:
+        return FlowGroup.TOP if flow in self.top_flows else \
+            FlowGroup.BOTTOM
+
+    # -- ingress path ------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        if self.byte_length + packet.size_bytes > self.buffer_bytes:
+            self.buffer_drops += 1
+            self.record_drop(packet)
+            return False
+        now = self.sim.now_ns
+        if self.saturated:
+            group = self.group_of(packet.flow)
+            decision = self.lbf.admit(group, packet.size_bytes, now)
+            self.lbf.track_total(packet.size_bytes)
+        else:
+            decision = self.lbf.admit_aggregate(packet.size_bytes, now)
+        if decision is LbfDecision.DROP:
+            self.lbf_drops += 1
+            self.record_drop(packet)
+            return False
+        if decision is LbfDecision.TAIL:
+            self.lbf_delays += 1
+            if self.params.ecn_marking and packet.mark_ce():
+                self.ecn_marks += 1
+        queue_index = self.lbf.queue_for(decision)
+        was_empty = self._empty()
+        self._queues[queue_index].append(packet)
+        self._queue_bytes[queue_index] += packet.size_bytes
+        if was_empty:
+            self.notify_waker()
+        return True
+
+    def _empty(self) -> bool:
+        return not (self._queues[0] or self._queues[1])
+
+    def dequeue(self) -> Optional[Packet]:
+        """Strict priority: headq first, then the next-round queue.
+
+        Serving ¬headq when headq is idle is what makes Cebinae
+        work-conserving — a group may exceed its allocation whenever the
+        other group leaves the link idle.
+        """
+        head = self.lbf.headq
+        for queue_index in (head, 1 - head):
+            queue: Deque[Packet] = self._queues[queue_index]
+            if queue:
+                packet = queue.popleft()
+                self._queue_bytes[queue_index] -= packet.size_bytes
+                return packet
+        return None
+
+    # -- egress path ---------------------------------------------------------------
+    def on_transmit(self, packet: Packet) -> None:
+        """Egress pipeline hook, called by the link per transmission."""
+        self.port_tx_bytes += packet.size_bytes
+        self.cache.update(packet.flow, packet.size_bytes)
+
+    # -- control plane interface ------------------------------------------------------
+    def rotate(self) -> int:
+        """Advance the round; returns the retired queue index."""
+        retired = self.lbf.headq
+        if self._queues[retired]:
+            # Equation (2) should make this impossible; count violations.
+            self.rotation_residue += 1
+        return self.lbf.rotate(self.sim.now_ns)
+
+    def set_membership(self, top_flows: Set[FlowId]) -> None:
+        self.top_flows = set(top_flows)
+
+    def set_saturated(self, saturated: bool, top_share: float = 0.5,
+                      bottom_share: float = 0.5) -> None:
+        """Phase change, applied atomically by the control plane.
+
+        On unsaturated→saturated, the group counters are bootstrapped
+        from the aggregate counter split by the incoming rate shares.
+        """
+        if saturated and not self.saturated:
+            self.lbf.bootstrap_from_total(top_share, bottom_share)
+        elif not saturated and self.saturated:
+            self.lbf.reset_group_counters()
+        self.saturated = saturated
+
+    # -- QueueDisc interface ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queues[0]) + len(self._queues[1])
+
+    @property
+    def byte_length(self) -> int:
+        return self._queue_bytes[0] + self._queue_bytes[1]

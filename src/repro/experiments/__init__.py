@@ -1,0 +1,18 @@
+"""Experiment harness: scenario specs, the scaling policy, runners for
+every table and figure of the paper's evaluation, and report
+formatting."""
+
+from .runner import (Discipline, ScenarioResult, run_comparison,
+                     run_scenario)
+from .scenarios import (DEFAULT_POLICY, FlowPlan, ScaledScenario,
+                        ScalePolicy, ScenarioSpec)
+from .table2 import (TABLE2_ROWS, PaperNumbers, Table2Comparison,
+                     Table2Row, run_table2, run_table2_row)
+
+__all__ = [
+    "Discipline", "ScenarioResult", "run_scenario", "run_comparison",
+    "ScenarioSpec", "ScaledScenario", "ScalePolicy", "DEFAULT_POLICY",
+    "FlowPlan",
+    "TABLE2_ROWS", "Table2Row", "Table2Comparison", "PaperNumbers",
+    "run_table2", "run_table2_row",
+]

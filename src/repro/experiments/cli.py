@@ -1,0 +1,128 @@
+"""Command-line entry point: ``cebinae-repro <experiment>``.
+
+Runs any of the paper's experiments and prints the report that feeds
+EXPERIMENTS.md.  ``--quick`` shrinks durations for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..core.resource_model import estimate_resources
+from ..heavyhitter.evaluation import sweep_round_interval, \
+    sweep_slot_count
+from . import figures, report
+from .runner import Discipline
+from .table2 import TABLE2_ROWS, run_table2
+
+EXPERIMENTS = ("table2", "figure1", "figure7", "figure8", "figure9",
+               "figure10", "figure11", "figure12", "figure13",
+               "table3", "scalability", "all")
+
+
+def _duration(default: float, quick: bool) -> float:
+    return min(default, 15.0) if quick else default
+
+
+def run_experiment(name: str, quick: bool = False,
+                   rows: Optional[List[int]] = None) -> str:
+    """Run one experiment by name and return its report text."""
+    if name == "table2":
+        selected = TABLE2_ROWS
+        if rows:
+            selected = [TABLE2_ROWS[i - 1] for i in rows]
+        comparisons = run_table2(selected,
+                                 duration_s=_duration(60.0, quick),
+                                 verbose=True)
+        return report.table2_report(comparisons)
+    if name == "figure1":
+        return report.figure1_report(
+            figures.figure1(duration_s=_duration(50.0, quick)))
+    if name == "figure7":
+        return report.bar_figure_report(
+            "Figure 7 (16 Vegas vs 1 NewReno)",
+            figures.figure7(duration_s=_duration(60.0, quick)))
+    if name == "figure8":
+        part_a = report.bar_figure_report(
+            "Figure 8a (128 NewReno vs 2 BBR)",
+            figures.figure8a(duration_s=_duration(60.0, quick)))
+        part_b = report.bar_figure_report(
+            "Figure 8b (128 NewReno vs 4 Vegas)",
+            figures.figure8b(duration_s=_duration(60.0, quick)))
+        return part_a + "\n" + part_b
+    if name == "figure9":
+        rtts = (16, 64, 256) if quick else (16, 32, 64, 128, 256)
+        return report.figure9_report(
+            figures.figure9(rtts_ms=rtts,
+                            duration_s=_duration(60.0, quick)))
+    if name == "figure10":
+        return report.figure10_report(
+            figures.figure10(duration_s=_duration(50.0, quick)))
+    if name == "figure11":
+        results = [figures.figure11(discipline=d,
+                                    duration_s=_duration(60.0, quick))
+                   for d in (Discipline.FIFO, Discipline.CEBINAE)]
+        return report.figure11_report(results)
+    if name == "figure12":
+        thresholds = (0.01, 0.1, 1.0) if quick else \
+            (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+        return report.figure12_report(
+            figures.figure12(thresholds=thresholds,
+                             duration_s=_duration(40.0, quick)))
+    if name == "figure13":
+        trials = 1 if quick else 10
+        duration = 0.15 if quick else 0.5
+        results = sweep_round_interval(
+            intervals_ms=(10, 50, 100) if quick else (10, 20, 50, 100),
+            trials=trials, trace_duration_s=duration)
+        results += sweep_slot_count(
+            slot_options=(512, 2048) if quick else (512, 1024, 2048,
+                                                    4096),
+            trials=trials, trace_duration_s=duration)
+        return report.figure13_report(results)
+    if name == "scalability":
+        from .scalability import format_points, rtt_sweep
+        rtts = (20, 320) if quick else (20, 80, 320)
+        points = rtt_sweep(rtts_ms=rtts,
+                           duration_s=_duration(20.0, quick))
+        return ("Cebinae vs AFQ under growing per-flow buffer "
+                "requirements\n" + format_points(points))
+    if name == "table3":
+        lines = ["Table 3: Cebinae data plane resource usage"]
+        for stages in (1, 2):
+            usage = estimate_resources(cache_stages=stages)
+            lines.append(
+                f"  {stages}-stage: PHV={usage.phv_bits}b "
+                f"SRAM={usage.sram_kb}KB TCAM={usage.tcam_kb}KB "
+                f"VLIW={usage.vliw_instructions} "
+                f"queues={usage.queues} "
+                f"(max util {usage.max_utilization:.1%})")
+        return "\n".join(lines)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cebinae-repro",
+        description="Reproduce the Cebinae (SIGCOMM 2022) evaluation.")
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--quick", action="store_true",
+                        help="short durations for smoke runs")
+    parser.add_argument("--rows", type=int, nargs="*",
+                        help="table2 only: 1-based row numbers")
+    args = parser.parse_args(argv)
+    names = [name for name in EXPERIMENTS if name != "all"] \
+        if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"=== {name} ===")
+        print(run_experiment(name, quick=args.quick, rows=args.rows))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,340 @@
+"""Per-figure experiment definitions (Figures 1, 7, 8, 9, 10, 11, 12).
+
+Each ``figureN`` function builds the paper's scenario, runs it under
+the relevant disciplines, and returns a small result object holding the
+series/values the figure plots, plus the paper's headline numbers where
+the text states them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.control_plane import cebinae_factory
+from ..fairness.maxmin import FlowSpec, water_filling
+from ..fairness.metrics import jain_fairness_index, normalized_jfi
+from ..netsim.engine import SECOND, Simulator, seconds
+from ..netsim.packet import MTU_BYTES
+from ..netsim.queues import DropTailQueue
+from ..netsim.topology import build_parking_lot
+from ..netsim.tracing import FlowMonitor
+from ..tcp.flows import connect_flow
+from .runner import Discipline, ScenarioResult, run_comparison, \
+    run_scenario
+from .scenarios import DEFAULT_POLICY, ScalePolicy, ScenarioSpec
+
+
+# --------------------------------------------------------------------------
+# Figure 1: two NewReno flows with different RTTs, FIFO vs Cebinae.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Figure1Result:
+    """Goodput time series per flow under FIFO and Cebinae."""
+
+    fifo: ScenarioResult
+    cebinae: ScenarioResult
+
+    def series(self, discipline: Discipline) -> List[List[float]]:
+        result = self.fifo if discipline is Discipline.FIFO \
+            else self.cebinae
+        return result.goodput_series_bps
+
+
+def figure1(policy: ScalePolicy = DEFAULT_POLICY,
+            duration_s: float = 50.0) -> Figure1Result:
+    spec = ScenarioSpec(name="figure1", rate_bps=100e6,
+                        rtts_ms=(20.4, 40.0), buffer_mtus=350,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    scaled = policy.apply(spec)
+    results = run_comparison(scaled,
+                             disciplines=(Discipline.FIFO,
+                                          Discipline.CEBINAE),
+                             collect_series=True, record_history=True)
+    return Figure1Result(fifo=results[Discipline.FIFO],
+                         cebinae=results[Discipline.CEBINAE])
+
+
+# --------------------------------------------------------------------------
+# Figure 7: 16 Vegas vs 1 NewReno per-flow goodputs.
+# Paper: FIFO JFI 0.093 (NewReno takes ~80%); Cebinae JFI 0.985.
+# --------------------------------------------------------------------------
+
+@dataclass
+class BarFigureResult:
+    """Per-flow goodputs under two disciplines (bar/CDF figures)."""
+
+    fifo: ScenarioResult
+    cebinae: ScenarioResult
+    paper_jfi_fifo: float = 0.0
+    paper_jfi_cebinae: float = 0.0
+
+    def cdf_points(self, discipline: Discipline
+                   ) -> List[Tuple[float, float]]:
+        result = self.fifo if discipline is Discipline.FIFO \
+            else self.cebinae
+        ordered = sorted(result.goodputs_bps)
+        count = len(ordered)
+        return [(value, (index + 1) / count)
+                for index, value in enumerate(ordered)]
+
+
+def _two_way(spec: ScenarioSpec, policy: ScalePolicy,
+             paper_fifo: float, paper_ceb: float) -> BarFigureResult:
+    scaled = policy.apply(spec)
+    results = run_comparison(scaled,
+                             disciplines=(Discipline.FIFO,
+                                          Discipline.CEBINAE))
+    return BarFigureResult(fifo=results[Discipline.FIFO],
+                           cebinae=results[Discipline.CEBINAE],
+                           paper_jfi_fifo=paper_fifo,
+                           paper_jfi_cebinae=paper_ceb)
+
+
+def figure7(policy: ScalePolicy = DEFAULT_POLICY,
+            duration_s: float = 60.0) -> BarFigureResult:
+    spec = ScenarioSpec(name="figure7", rate_bps=100e6, rtts_ms=(100,),
+                        buffer_mtus=850,
+                        cca_mix=(("vegas", 16), ("newreno", 1)),
+                        duration_s=duration_s)
+    return _two_way(spec, policy, paper_fifo=0.093, paper_ceb=0.985)
+
+
+def figure8a(policy: ScalePolicy = DEFAULT_POLICY,
+             duration_s: float = 60.0) -> BarFigureResult:
+    """128 NewReno vs 2 BBR over 1 Gbps (paper JFI 0.774 -> 0.936)."""
+    spec = ScenarioSpec(name="figure8a", rate_bps=1000e6,
+                        rtts_ms=(100,), buffer_mtus=8350,
+                        cca_mix=(("newreno", 128), ("bbr", 2)),
+                        duration_s=duration_s)
+    return _two_way(spec, policy, paper_fifo=0.774, paper_ceb=0.936)
+
+
+def figure8b(policy: ScalePolicy = DEFAULT_POLICY,
+             duration_s: float = 60.0) -> BarFigureResult:
+    """128 NewReno vs 4 Vegas (starvation; paper JFI 0.956 -> 0.964)."""
+    spec = ScenarioSpec(name="figure8b", rate_bps=1000e6,
+                        rtts_ms=(64, 100), buffer_mtus=8500,
+                        cca_mix=(("newreno", 128), ("vegas", 4)),
+                        duration_s=duration_s)
+    return _two_way(spec, policy, paper_fifo=0.956, paper_ceb=0.964)
+
+
+# --------------------------------------------------------------------------
+# Figure 9: RTT asymmetry sweep for Cubic over a 400 Mbps link.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Figure9Point:
+    rtt_ms: float
+    results: Dict[Discipline, ScenarioResult]
+
+    def jfi(self, discipline: Discipline) -> float:
+        return self.results[discipline].jfi
+
+    def goodput_bps(self, discipline: Discipline) -> float:
+        return self.results[discipline].total_goodput_bps
+
+
+def figure9(rtts_ms: Sequence[float] = (16, 32, 64, 128, 256),
+            policy: ScalePolicy = DEFAULT_POLICY,
+            duration_s: float = 60.0) -> List[Figure9Point]:
+    """4 Cubic at 256 ms vs 4 Cubic at each swept RTT, 3 MB buffer."""
+    points = []
+    for rtt in rtts_ms:
+        spec = ScenarioSpec(name=f"figure9_rtt{int(rtt)}",
+                            rate_bps=400e6, rtts_ms=(256.0, float(rtt)),
+                            buffer_mtus=2000,
+                            cca_mix=(("cubic", 4), ("cubic", 4)),
+                            duration_s=duration_s)
+        scaled = policy.apply(spec)
+        points.append(Figure9Point(rtt_ms=float(rtt),
+                                   results=run_comparison(scaled)))
+    return points
+
+
+# --------------------------------------------------------------------------
+# Figure 10: JFI time series under flow churn.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Figure10Result:
+    results: Dict[Discipline, ScenarioResult]
+
+    def jfi_series(self, discipline: Discipline) -> List[float]:
+        return self.results[discipline].jfi_series()
+
+
+def figure10(policy: ScalePolicy = DEFAULT_POLICY,
+             duration_s: float = 50.0,
+             num_vegas: int = 32) -> Figure10Result:
+    """Vegas flows reach steady state; NewReno joins at ~5 s and Cubic
+    at ~25 s, degrading fairness that Cebinae restores."""
+    starts = tuple([0.0] * num_vegas + [5.0, 25.0])
+    spec = ScenarioSpec(name="figure10", rate_bps=100e6, rtts_ms=(50,),
+                        buffer_mtus=420,
+                        cca_mix=(("vegas", num_vegas), ("newreno", 1),
+                                 ("cubic", 1)),
+                        duration_s=duration_s, start_times_s=starts)
+    scaled = policy.apply(spec)
+    return Figure10Result(results=run_comparison(
+        scaled, collect_series=True))
+
+
+# --------------------------------------------------------------------------
+# Figure 11: the multi-bottleneck 'Parking Lot'.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Figure11Result:
+    """Per-flow goodputs vs the ideal max-min allocation."""
+
+    discipline: Discipline
+    flow_labels: List[str]
+    goodputs_bps: List[float]
+    ideal_bps: List[float]
+    duration_s: float
+
+    @property
+    def normalized_jfi(self) -> float:
+        rates = {label: rate for label, rate
+                 in zip(self.flow_labels, self.goodputs_bps)}
+        ideal = {label: rate for label, rate
+                 in zip(self.flow_labels, self.ideal_bps)}
+        return normalized_jfi(rates, ideal)
+
+
+#: Paper numbers for Figure 11: JFI 0.852 (FIFO) -> 0.978 (Cebinae).
+FIGURE11_PAPER_JFI = {Discipline.FIFO: 0.852,
+                      Discipline.CEBINAE: 0.978}
+
+
+def figure11(discipline: Discipline = Discipline.CEBINAE,
+             rate_bps: float = 25e6, buffer_mtus: int = 40,
+             duration_s: float = 60.0,
+             num_long: int = 8,
+             cross_counts: Tuple[int, ...] = (2, 8, 4),
+             cross_ccas: Tuple[str, ...] = ("bic", "vegas", "cubic"),
+             tau: float = 0.06,
+             access_delay_ms: float = 8.0,
+             bottleneck_delay_ms: float = 4.0) -> Figure11Result:
+    """8 NewReno long flows vs Bic/Vegas/Cubic cross traffic on three
+    100 Mbps bottlenecks (scaled 4x).
+
+    Delays and buffer keep dT comparable to the long flows' RTT: at a
+    naive scale dT dwarfs the base RTT, the three LBF hops inflate the
+    long flows' RTT ~10x, and their AIMD growth — hence the whole
+    convergence toward max-min — stalls (DESIGN.md, scaling law 4)."""
+    sim = Simulator()
+    if discipline is Discipline.CEBINAE:
+        from dataclasses import replace as dc_replace
+        params = DEFAULT_POLICY.cebinae_params(
+            rate_bps, buffer_mtus * MTU_BYTES, max_rtt_s=0.08,
+            rate_scale=100e6 / rate_bps)
+        params = dc_replace(params, tau=tau,
+                            delta_port=min(2 * tau, 0.16))
+        factory = cebinae_factory(params=params, buffer_mtus=buffer_mtus)
+    elif discipline is Discipline.FIFO:
+        factory = lambda spec: DropTailQueue.from_mtu_count(buffer_mtus)
+    else:
+        from ..netsim.fq_codel import fq_codel_factory
+        factory = fq_codel_factory(limit_packets=max(buffer_mtus, 64))
+
+    lot = build_parking_lot(
+        num_long_flows=num_long,
+        cross_flow_counts=list(cross_counts),
+        bottleneck_rate_bps=rate_bps,
+        bottleneck_queue=factory,
+        access_delay_ns=int(access_delay_ms * 1e6),
+        bottleneck_delay_ns=int(bottleneck_delay_ms * 1e6),
+        sim=sim)
+    monitor = FlowMonitor(sim)
+    flows, labels, specs = [], [], []
+    for j in range(num_long):
+        flow = connect_flow(lot.long_senders[j], lot.long_receivers[j],
+                            "newreno", monitor=monitor,
+                            src_port=10_000 + j)
+        flows.append(flow)
+        labels.append(f"long{j}")
+        specs.append(FlowSpec(flow_id=f"long{j}",
+                              path=tuple(range(len(cross_counts)))))
+    port = 20_000
+    for i, (count, cca) in enumerate(zip(cross_counts, cross_ccas)):
+        for j in range(count):
+            flow = connect_flow(lot.cross_senders[i][j],
+                                lot.cross_receivers[i][j], cca,
+                                monitor=monitor, src_port=port)
+            port += 1
+            flows.append(flow)
+            labels.append(f"{cca}{j}")
+            specs.append(FlowSpec(flow_id=f"{cca}{j}", path=(i,)))
+    sim.run(until_ns=seconds(duration_s))
+    duration_ns = seconds(duration_s)
+    goodputs = [monitor.goodputs_bps(duration_ns)[flow.flow_id]
+                for flow in flows]
+    capacities = {i: rate_bps for i in range(len(cross_counts))}
+    ideal = water_filling(capacities, specs)
+    return Figure11Result(
+        discipline=discipline, flow_labels=labels,
+        goodputs_bps=goodputs,
+        ideal_bps=[ideal[spec.flow_id] for spec in specs],
+        duration_s=duration_s)
+
+
+# --------------------------------------------------------------------------
+# Figure 12: sensitivity to the thresholds δp, δf, τ.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Figure12Point:
+    threshold: float
+    jfi: float
+    goodput_bps: float
+
+
+@dataclass
+class Figure12Result:
+    cebinae_points: List[Figure12Point]
+    fifo_jfi: float
+    fifo_goodput_bps: float
+    fq_jfi: float
+    fq_goodput_bps: float
+
+
+def figure12(thresholds: Sequence[float] = (0.01, 0.02, 0.05, 0.1,
+                                            0.2, 0.5, 1.0),
+             policy: ScalePolicy = DEFAULT_POLICY,
+             duration_s: float = 40.0) -> Figure12Result:
+    """JFI and goodput as δp = δf = τ sweep from 1% to 100%.
+
+    The sweep sets the thresholds directly (it *is* the paper's x-axis)
+    rather than applying the scaling rule to them.
+    """
+    from dataclasses import replace
+
+    spec = ScenarioSpec(name="figure12", rate_bps=100e6, rtts_ms=(50,),
+                        buffer_mtus=420,
+                        cca_mix=(("newreno", 16), ("cubic", 1)),
+                        duration_s=duration_s)
+    scaled = policy.apply(spec)
+    baselines = run_comparison(scaled, disciplines=(Discipline.FIFO,
+                                                    Discipline.FQ))
+    points = []
+    for threshold in thresholds:
+        params = replace(scaled.cebinae, tau=threshold,
+                         delta_port=threshold, delta_flow=threshold,
+                         min_bottom_rate_fraction=0.0)
+        swept = replace(scaled, cebinae=params)
+        result = run_scenario(swept, Discipline.CEBINAE)
+        points.append(Figure12Point(threshold=threshold, jfi=result.jfi,
+                                    goodput_bps=result.
+                                    total_goodput_bps))
+    fifo = baselines[Discipline.FIFO]
+    fq = baselines[Discipline.FQ]
+    return Figure12Result(cebinae_points=points,
+                          fifo_jfi=fifo.jfi,
+                          fifo_goodput_bps=fifo.total_goodput_bps,
+                          fq_jfi=fq.jfi,
+                          fq_goodput_bps=fq.total_goodput_bps)

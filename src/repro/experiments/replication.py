@@ -1,0 +1,105 @@
+"""Multi-seed replication: mean and confidence intervals for JFI.
+
+Packet simulations of TCP are chaotic: a one-packet timing change can
+flip which flow loses a given burst.  Single runs therefore carry run-
+to-run variance, and comparisons between disciplines should quote a
+confidence interval, not a point estimate.  The seeded host-jitter RNG
+makes independent replications cheap: each seed produces a different
+(but reproducible) realisation of the same scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import Discipline, ScenarioResult, run_scenario
+from .scenarios import ScaledScenario
+
+try:  # scipy is a dev-dependency; fall back to a normal quantile.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy ships in dev installs.
+    _scipy_stats = None
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2, dof))
+    return 1.96  # Normal approximation.
+
+
+@dataclass
+class ReplicatedMetric:
+    """Mean, standard deviation and CI of one metric across seeds."""
+
+    samples: List[float]
+    confidence: float = 0.95
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples)
+                         / (len(self.samples) - 1))
+
+    @property
+    def half_width(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        quantile = _t_quantile(self.confidence, len(self.samples) - 1)
+        return quantile * self.std / math.sqrt(len(self.samples))
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.mean - self.half_width,
+                self.mean + self.half_width)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregated replications of one (scenario, discipline)."""
+
+    discipline: Discipline
+    runs: List[ScenarioResult]
+
+    @property
+    def jfi(self) -> ReplicatedMetric:
+        return ReplicatedMetric([run.jfi for run in self.runs])
+
+    @property
+    def goodput_bps(self) -> ReplicatedMetric:
+        return ReplicatedMetric([run.total_goodput_bps
+                                 for run in self.runs])
+
+
+def replicate(scaled: ScaledScenario, discipline: Discipline,
+              seeds: Sequence[int] = (0, 1, 2),
+              **run_kwargs) -> ReplicatedResult:
+    """Run a scenario once per seed and aggregate."""
+    runs = [run_scenario(scaled, discipline, seed=seed, **run_kwargs)
+            for seed in seeds]
+    return ReplicatedResult(discipline=discipline, runs=runs)
+
+
+def replicate_comparison(scaled: ScaledScenario,
+                         disciplines: Sequence[Discipline] = (
+                             Discipline.FIFO, Discipline.CEBINAE),
+                         seeds: Sequence[int] = (0, 1, 2)
+                         ) -> Dict[Discipline, ReplicatedResult]:
+    return {discipline: replicate(scaled, discipline, seeds=seeds)
+            for discipline in disciplines}
+
+
+def significantly_fairer(better: ReplicatedResult,
+                         worse: ReplicatedResult) -> bool:
+    """True if ``better``'s JFI interval clears ``worse``'s entirely."""
+    return better.jfi.interval[0] > worse.jfi.interval[1]

@@ -1,0 +1,171 @@
+"""Scenario execution: build the topology, run, collect metrics.
+
+The runner executes a :class:`~repro.experiments.scenarios.ScaledScenario`
+under one of the three disciplines the paper compares — FIFO drop-tail,
+FQ (FQ-CoDel with per-flow queues), and Cebinae — and returns the
+metrics the paper reports: per-flow goodput, bottleneck throughput, and
+Jain's fairness index, with optional per-second series.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.control_plane import CebinaeControlPlane, cebinae_factory
+from ..fairness.metrics import jain_fairness_index, jfi_time_series
+from ..netsim.engine import SECOND, Simulator, seconds
+from ..netsim.fq_codel import fq_codel_factory
+from ..netsim.packet import FlowId, MTU_BYTES
+from ..netsim.queues import DropTailQueue
+from ..netsim.topology import Dumbbell, build_dumbbell
+from ..netsim.tracing import FlowMonitor
+from ..tcp.flows import TcpFlow, connect_flow
+from .scenarios import ScaledScenario
+
+
+class Discipline(enum.Enum):
+    """The three queueing disciplines of the paper's comparison."""
+
+    FIFO = "fifo"
+    FQ = "fq"
+    CEBINAE = "cebinae"
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured from one scenario run."""
+
+    name: str
+    discipline: Discipline
+    duration_s: float
+    sim_rate_bps: float
+    rate_scale: float
+    flow_scale: float
+    cca_names: List[str]
+    goodputs_bps: List[float]
+    throughput_bps: float
+    events: int
+    lbf_drops: int = 0
+    lbf_delays: int = 0
+    buffer_drops: int = 0
+    goodput_series_bps: Optional[List[List[float]]] = None
+    start_times_s: Optional[List[float]] = None
+    cp_history: Optional[list] = None
+
+    @property
+    def jfi(self) -> float:
+        return jain_fairness_index(self.goodputs_bps)
+
+    @property
+    def total_goodput_bps(self) -> float:
+        return sum(self.goodputs_bps)
+
+    def jfi_series(self) -> List[float]:
+        """Per-second JFI over the flows active in each second."""
+        if self.goodput_series_bps is None:
+            raise ValueError("run with collect_series=True for series")
+        per_flow = {i: series
+                    for i, series in enumerate(self.goodput_series_bps)}
+        active = None
+        if self.start_times_s is not None:
+            active = {i: int(t) for i, t in enumerate(self.start_times_s)}
+        return jfi_time_series(per_flow, active)
+
+
+def queue_factory_for(discipline: Discipline, scaled: ScaledScenario,
+                      agents: Optional[list] = None,
+                      record_history: bool = False):
+    """The bottleneck queue factory for a discipline."""
+    buffer_mtus = scaled.spec.buffer_mtus
+    if discipline is Discipline.FIFO:
+        return lambda spec: DropTailQueue.from_mtu_count(buffer_mtus)
+    if discipline is Discipline.FQ:
+        # The paper raises FQ-CoDel's queue count to 2^32-1 (exact
+        # per-flow queues) and we follow; the packet limit mirrors the
+        # scenario's buffer.
+        return fq_codel_factory(limit_packets=max(buffer_mtus, 64))
+    if discipline is Discipline.CEBINAE:
+        return cebinae_factory(params=scaled.cebinae,
+                               buffer_mtus=buffer_mtus,
+                               agents=agents,
+                               record_history=record_history)
+    raise ValueError(f"unknown discipline {discipline}")
+
+
+def run_scenario(scaled: ScaledScenario, discipline: Discipline,
+                 collect_series: bool = False,
+                 record_history: bool = False,
+                 seed: int = 0) -> ScenarioResult:
+    """Execute one scenario under one discipline.
+
+    ``seed`` varies the hosts' timing-noise RNG so replications of the
+    same scenario are statistically independent yet reproducible.
+    """
+    spec = scaled.spec
+    plans = spec.flow_plans()
+    agents: List[CebinaeControlPlane] = []
+    factory = queue_factory_for(discipline, scaled, agents=agents,
+                                record_history=record_history)
+    sim = Simulator()
+    dumbbell = build_dumbbell(
+        rtts_ns=[seconds(plan.rtt_s) for plan in plans],
+        bottleneck_rate_bps=spec.rate_bps,
+        bottleneck_queue=factory,
+        sim=sim,
+        jitter_seed=seed)
+    monitor = FlowMonitor(sim)
+    flows: List[TcpFlow] = []
+    for plan in plans:
+        flows.append(connect_flow(
+            dumbbell.senders[plan.index], dumbbell.receivers[plan.index],
+            plan.cca, monitor=monitor, src_port=10_000 + plan.index,
+            start_time_ns=seconds(plan.start_time_s)))
+    duration_ns = seconds(spec.duration_s)
+    sim.run(until_ns=duration_ns)
+
+    goodputs = [monitor.goodputs_bps(duration_ns)[flow.flow_id]
+                for flow in flows]
+    series = None
+    if collect_series:
+        series = [monitor.goodput_series_bps(flow.flow_id, duration_ns)
+                  for flow in flows]
+    queue = dumbbell.bottleneck.queue
+    result = ScenarioResult(
+        name=spec.name,
+        discipline=discipline,
+        duration_s=spec.duration_s,
+        sim_rate_bps=spec.rate_bps,
+        rate_scale=scaled.rate_scale,
+        flow_scale=scaled.flow_scale,
+        cca_names=[plan.cca for plan in plans],
+        goodputs_bps=goodputs,
+        throughput_bps=dumbbell.bottleneck.tx_bytes * 8 * SECOND
+        / duration_ns,
+        events=sim.processed_events,
+        lbf_drops=getattr(queue, "lbf_drops", 0),
+        lbf_delays=getattr(queue, "lbf_delays", 0),
+        buffer_drops=getattr(queue, "buffer_drops",
+                             queue.dropped_packets),
+        goodput_series_bps=series,
+        start_times_s=[plan.start_time_s for plan in plans]
+        if spec.start_times_s is not None else None,
+        cp_history=agents[0].history if agents and record_history
+        else None,
+    )
+    return result
+
+
+def run_comparison(scaled: ScaledScenario,
+                   disciplines: Sequence[Discipline] = (
+                       Discipline.FIFO, Discipline.FQ,
+                       Discipline.CEBINAE),
+                   collect_series: bool = False,
+                   record_history: bool = False
+                   ) -> Dict[Discipline, ScenarioResult]:
+    """Run a scenario under each requested discipline."""
+    return {discipline: run_scenario(scaled, discipline,
+                                     collect_series=collect_series,
+                                     record_history=record_history)
+            for discipline in disciplines}

@@ -1,0 +1,111 @@
+"""The scalability comparison of sections 2 and 5.5: Cebinae vs AFQ.
+
+AFQ approximates fair queuing with ``nQ`` calendar queues of ``BpR``
+bytes per round; Equation (1) requires ``buffer_req <= BpR x nQ`` *per
+flow*.  As RTTs (hence per-flow buffer requirements) grow or queues
+shrink, AFQ must either drop at the calendar horizon or run with BpR so
+coarse that fairness degrades.  Cebinae's two queues are insensitive to
+both.  This module runs the head-to-head on a dumbbell and reports
+fairness, goodput and horizon drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.control_plane import cebinae_factory
+from ..core.params import CebinaeParams
+from ..fairness.metrics import jain_fairness_index
+from ..netsim.afq import afq_factory
+from ..netsim.engine import SECOND, Simulator, seconds
+from ..netsim.packet import MTU_BYTES
+from ..netsim.tracing import FlowMonitor
+from ..netsim.topology import build_dumbbell
+from ..tcp.flows import connect_flow
+
+
+@dataclass
+class ScalabilityPoint:
+    """One (mechanism, configuration) measurement."""
+
+    mechanism: str
+    num_flows: int
+    rtt_ms: float
+    jfi: float
+    goodput_bps: float
+    horizon_drops: int
+
+
+def _afq(rate_bps: float, buffer_mtus: int, num_queues: int,
+         bytes_per_round: int):
+    return afq_factory(num_queues=num_queues,
+                       bytes_per_round=bytes_per_round,
+                       limit_bytes=buffer_mtus * MTU_BYTES)
+
+
+def _cebinae(rate_bps: float, buffer_mtus: int, max_rtt_s: float):
+    params = CebinaeParams.for_link(
+        rate_bps, buffer_mtus * MTU_BYTES,
+        max_rtt_ns=seconds(max_rtt_s), tau=0.04, delta_port=0.08,
+        delta_flow=0.04, min_bottom_rate_fraction=0.02)
+    return cebinae_factory(params=params, buffer_mtus=buffer_mtus)
+
+
+def run_point(mechanism: str, num_flows: int, rtt_ms: float,
+              rate_bps: float = 20e6, buffer_mtus: int = 80,
+              num_queues: int = 32, bytes_per_round: int = 2 * MTU_BYTES,
+              duration_s: float = 20.0,
+              cca: str = "newreno") -> ScalabilityPoint:
+    """Run one mechanism at one (flows, RTT) configuration."""
+    if mechanism == "afq":
+        factory = _afq(rate_bps, buffer_mtus, num_queues,
+                       bytes_per_round)
+    elif mechanism == "cebinae":
+        factory = _cebinae(rate_bps, buffer_mtus, rtt_ms / 1e3)
+    else:
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    sim = Simulator()
+    dumbbell = build_dumbbell([seconds(rtt_ms / 1e3)] * num_flows,
+                              rate_bps, factory, sim=sim)
+    monitor = FlowMonitor(sim)
+    flows = [connect_flow(dumbbell.senders[i], dumbbell.receivers[i],
+                          cca, monitor=monitor, src_port=10_000 + i)
+             for i in range(num_flows)]
+    sim.run(until_ns=seconds(duration_s))
+    goodputs = [monitor.goodputs_bps(seconds(duration_s))[f.flow_id]
+                for f in flows]
+    queue = dumbbell.bottleneck.queue
+    return ScalabilityPoint(
+        mechanism=mechanism, num_flows=num_flows, rtt_ms=rtt_ms,
+        jfi=jain_fairness_index(goodputs),
+        goodput_bps=sum(goodputs),
+        horizon_drops=getattr(queue, "horizon_drops", 0))
+
+
+def rtt_sweep(rtts_ms: Sequence[float] = (20, 80, 320),
+              num_flows: int = 4,
+              **kwargs) -> List[ScalabilityPoint]:
+    """Grow the RTT (per-flow buffer requirement) at fixed queues.
+
+    AFQ's Equation (1) head-room shrinks relative to the BDP; Cebinae
+    is RTT-insensitive by design.
+    """
+    points = []
+    for rtt in rtts_ms:
+        for mechanism in ("afq", "cebinae"):
+            points.append(run_point(mechanism, num_flows, rtt,
+                                    **kwargs))
+    return points
+
+
+def format_points(points: Sequence[ScalabilityPoint]) -> str:
+    lines = [f"{'mech':>8} {'flows':>5} {'rtt':>6} {'JFI':>6} "
+             f"{'goodput':>9} {'horizon drops':>13}"]
+    for point in points:
+        lines.append(
+            f"{point.mechanism:>8} {point.num_flows:>5} "
+            f"{point.rtt_ms:>4.0f}ms {point.jfi:>6.3f} "
+            f"{point.goodput_bps / 1e6:>7.2f} M "
+            f"{point.horizon_drops:>13}")
+    return "\n".join(lines)

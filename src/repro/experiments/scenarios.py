@@ -1,0 +1,207 @@
+"""Scenario descriptions and the bandwidth/flow scaling policy.
+
+Every evaluation artifact in the paper is a *scenario*: a topology, a
+mix of CCAs with per-group RTTs, a bottleneck rate and buffer, and a
+duration.  Scenarios are described with the paper's original numbers;
+the :class:`ScalePolicy` maps them onto configurations a pure-Python
+packet simulator can execute, following the scaling laws derived in
+DESIGN.md:
+
+* **Rate scaling** — 100 Mbps-class scenarios run at 25 Mbps by
+  default, 1 Gbps at 25 Mbps, 10 Gbps at 50 Mbps.  Buffers scale with
+  rate so drain times (and hence Cebinae's dT bound) are preserved.
+* **Tax scaling** — Cebinae's control authority is ``τ·C`` per window
+  while loss-based TCP regrab is ``MSS/RTT²`` *independent of C*, so a
+  faithful reproduction of the tax-vs-AIMD balance requires
+  ``τ_sim = τ_paper · (C_paper / C_sim)``, clamped to [1%, 10%].
+  ``δp``/``δf`` scale the same way (clamped to 5%) because per-window
+  byte counts shrink with the rate.
+* **Flow scaling** — scenarios with hundreds of flows cannot run at a
+  rate where every flow clears TCP's minimum operating point
+  (~2 MSS/RTT); group counts are divided down (never below 1) while
+  preserving the mix ratio.
+
+Each scaled scenario records its scale factors so reports can state
+them next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.engine import MILLISECOND, seconds
+from ..netsim.packet import MSS_BYTES, MTU_BYTES
+from ..core.params import CebinaeParams
+
+
+@dataclass(frozen=True)
+class FlowPlan:
+    """One flow of a scenario, after mix expansion."""
+
+    index: int
+    cca: str
+    rtt_s: float
+    start_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A dumbbell scenario in the paper's own units.
+
+    ``rtts_ms`` aligns with ``cca_mix``: one RTT per mix group (the
+    common case in Table 2), one per flow, or a single value for all.
+    """
+
+    name: str
+    rate_bps: float
+    rtts_ms: Tuple[float, ...]
+    buffer_mtus: int
+    cca_mix: Tuple[Tuple[str, int], ...]
+    duration_s: float = 60.0
+    start_times_s: Optional[Tuple[float, ...]] = None
+
+    @property
+    def total_flows(self) -> int:
+        return sum(count for _, count in self.cca_mix)
+
+    def flow_plans(self) -> List[FlowPlan]:
+        """Expand the mix into per-flow plans with RTTs and starts."""
+        rtts = self._per_group_rtts()
+        plans: List[FlowPlan] = []
+        index = 0
+        for group, (cca, count) in enumerate(self.cca_mix):
+            for _ in range(count):
+                start = 0.0
+                if self.start_times_s is not None:
+                    start = self.start_times_s[index]
+                plans.append(FlowPlan(index=index, cca=cca,
+                                      rtt_s=rtts[group] / 1e3,
+                                      start_time_s=start))
+                index += 1
+        return plans
+
+    def _per_group_rtts(self) -> List[float]:
+        groups = len(self.cca_mix)
+        if len(self.rtts_ms) == 1:
+            return [self.rtts_ms[0]] * groups
+        if len(self.rtts_ms) == groups:
+            return list(self.rtts_ms)
+        raise ValueError(
+            f"{self.name}: {len(self.rtts_ms)} RTTs cannot map onto "
+            f"{groups} CCA groups")
+
+    @property
+    def max_rtt_s(self) -> float:
+        return max(self.rtts_ms) / 1e3
+
+    @property
+    def min_rtt_s(self) -> float:
+        return min(self.rtts_ms) / 1e3
+
+
+@dataclass(frozen=True)
+class ScaledScenario:
+    """A scenario after the scaling policy has been applied."""
+
+    spec: ScenarioSpec            # With *scaled* rate/buffer/mix.
+    paper_spec: ScenarioSpec      # The original.
+    rate_scale: float             # paper rate / sim rate.
+    flow_scale: float             # paper flows / sim flows.
+    cebinae: CebinaeParams
+
+
+#: TCP needs roughly this many segments per RTT to avoid RTO collapse.
+MIN_SEGMENTS_PER_RTT = 3.0
+
+
+@dataclass(frozen=True)
+class ScalePolicy:
+    """Maps paper-scale scenarios onto simulator-scale ones."""
+
+    target_rate_bps: float = 25e6
+    max_rate_bps: float = 60e6
+    max_flows: int = 40
+    tau_paper: float = 0.01
+    delta_paper: float = 0.01
+    tau_cap: float = 0.08
+    delta_cap: float = 0.05
+    min_bottom_rate_fraction: float = 0.02
+    dt_headroom: float = 1.2
+    min_dt_s: float = 0.04
+
+    # -- individual scaling rules ---------------------------------------------
+    def scale_mix(self, mix: Sequence[Tuple[str, int]]
+                  ) -> Tuple[Tuple[Tuple[str, int], ...], float]:
+        """Shrink group counts preserving ratios; never below 1."""
+        total = sum(count for _, count in mix)
+        if total <= self.max_flows:
+            return tuple(mix), 1.0
+        factor = total / self.max_flows
+        scaled = tuple((cca, max(1, round(count / factor)))
+                       for cca, count in mix)
+        new_total = sum(count for _, count in scaled)
+        return scaled, total / new_total
+
+    def sim_rate(self, spec: ScenarioSpec, n_flows: int) -> float:
+        """Rate giving every flow a viable fair share, within caps."""
+        floor = (n_flows * MIN_SEGMENTS_PER_RTT * MSS_BYTES * 8
+                 / spec.min_rtt_s)
+        rate = max(self.target_rate_bps, floor)
+        rate = min(rate, self.max_rate_bps, spec.rate_bps)
+        return rate
+
+    def scaled_threshold(self, paper_value: float, rate_scale: float,
+                         cap: float) -> float:
+        return min(max(paper_value * rate_scale, paper_value), cap)
+
+    def cebinae_params(self, rate_bps: float, buffer_bytes: int,
+                       max_rtt_s: float,
+                       rate_scale: float) -> CebinaeParams:
+        drain_s = buffer_bytes * 8 / rate_bps
+        dt_s = max(self.dt_headroom * drain_s, self.min_dt_s)
+        dt_ns = int(math.ceil(dt_s * 1e3)) * MILLISECOND
+        recompute = max(1, math.ceil(seconds(max_rtt_s) / dt_ns))
+        tau = self.scaled_threshold(self.tau_paper, rate_scale,
+                                    self.tau_cap)
+        # The saturation threshold must exceed the tax: a taxed link
+        # admits ~ (1 - tau) of capacity, and with delta_port <= tau the
+        # very act of taxing reads as desaturation, releasing all limits
+        # every other window (see DESIGN.md).
+        return CebinaeParams(
+            delta_port=min(2.0 * tau, 0.16),
+            delta_flow=self.scaled_threshold(self.delta_paper,
+                                             rate_scale, self.delta_cap),
+            tau=tau,
+            dt_ns=dt_ns,
+            vdt_ns=MILLISECOND,
+            l_ns=MILLISECOND,
+            recompute_rounds=recompute,
+            min_bottom_rate_fraction=self.min_bottom_rate_fraction,
+        )
+
+    # -- the composite -----------------------------------------------------------
+    def apply(self, spec: ScenarioSpec,
+              duration_s: Optional[float] = None) -> ScaledScenario:
+        mix, flow_scale = self.scale_mix(spec.cca_mix)
+        n_flows = sum(count for _, count in mix)
+        rate = self.sim_rate(spec, n_flows)
+        rate_scale = spec.rate_bps / rate
+        buffer_mtus = max(10, round(spec.buffer_mtus / rate_scale))
+        start_times = spec.start_times_s
+        if start_times is not None and flow_scale != 1.0:
+            raise ValueError("cannot flow-scale staggered-start scenarios")
+        scaled_spec = replace(
+            spec, rate_bps=rate, buffer_mtus=buffer_mtus, cca_mix=mix,
+            duration_s=duration_s if duration_s is not None
+            else spec.duration_s)
+        params = self.cebinae_params(rate, buffer_mtus * MTU_BYTES,
+                                     spec.max_rtt_s, rate_scale)
+        return ScaledScenario(spec=scaled_spec, paper_spec=spec,
+                              rate_scale=rate_scale,
+                              flow_scale=flow_scale, cebinae=params)
+
+
+#: The default policy used by the benchmark harness.
+DEFAULT_POLICY = ScalePolicy()

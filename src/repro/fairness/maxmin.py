@@ -1,0 +1,163 @@
+"""Max-min fair allocations via water-filling (paper section 3.1).
+
+The water-filling algorithm computes the unique max-min fair rate
+allocation for a set of flows over a capacitated network: all
+unconstrained flows grow at an equal rate until some link saturates;
+flows crossing a saturated link become constrained; repeat until every
+flow is constrained (or satiated by its demand).
+
+The result is both the ideal against which Figure 11 normalises its
+JFI and the ground truth for this reproduction's property tests of
+Definition 2 (every flow has a saturated bottleneck link on which it is
+maximal).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+#: Relative tolerance for saturation/comparison checks.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A flow for the allocator: an id, a path of link ids, a demand."""
+
+    flow_id: Hashable
+    path: Tuple[Hashable, ...]
+    demand: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a flow must traverse at least one link")
+        if self.demand <= 0:
+            raise ValueError("demand must be positive")
+
+
+def water_filling(link_capacities: Dict[Hashable, float],
+                  flows: Sequence[FlowSpec]) -> Dict[Hashable, float]:
+    """Compute the max-min fair allocation.
+
+    Args:
+        link_capacities: capacity per link id (any consistent unit).
+        flows: the competing flows; demands may be infinite.
+
+    Returns:
+        The allocated rate per flow id.
+    """
+    for flow in flows:
+        for link in flow.path:
+            if link not in link_capacities:
+                raise KeyError(f"flow {flow.flow_id} uses unknown link "
+                               f"{link}")
+    remaining = dict(link_capacities)
+    active: Dict[Hashable, FlowSpec] = {f.flow_id: f for f in flows}
+    if len(active) != len(flows):
+        raise ValueError("duplicate flow ids")
+    allocation: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+
+    while active:
+        # The per-flow increment each link can still afford.
+        flows_on_link: Dict[Hashable, int] = {}
+        for flow in active.values():
+            for link in flow.path:
+                flows_on_link[link] = flows_on_link.get(link, 0) + 1
+        increment = math.inf
+        for link, count in flows_on_link.items():
+            increment = min(increment, remaining[link] / count)
+        # Demand-limited flows may satiate before any link saturates.
+        for flow in active.values():
+            increment = min(increment,
+                            flow.demand - allocation[flow.flow_id])
+        if increment == math.inf:
+            raise ValueError("unbounded allocation: no finite link "
+                             "capacity or demand constrains some flow")
+        for flow in active.values():
+            allocation[flow.flow_id] += increment
+            for link in flow.path:
+                remaining[link] -= increment
+        # Retire satiated flows and flows on saturated links.
+        finished = set()
+        for flow in active.values():
+            if allocation[flow.flow_id] >= flow.demand - EPSILON:
+                finished.add(flow.flow_id)
+                continue
+            for link in flow.path:
+                capacity = link_capacities[link]
+                if remaining[link] <= EPSILON * max(capacity, 1.0):
+                    finished.add(flow.flow_id)
+                    break
+        if not finished and increment <= 0:
+            raise RuntimeError("water-filling failed to progress")
+        for flow_id in finished:
+            del active[flow_id]
+    return allocation
+
+
+@dataclass
+class BottleneckCheck:
+    """The Definition 2 verdict for one flow."""
+
+    flow_id: Hashable
+    bottleneck_link: Optional[Hashable]
+
+    @property
+    def has_bottleneck(self) -> bool:
+        return self.bottleneck_link is not None
+
+
+def verify_maxmin(link_capacities: Dict[Hashable, float],
+                  flows: Sequence[FlowSpec],
+                  allocation: Dict[Hashable, float],
+                  tolerance: float = 1e-6) -> List[BottleneckCheck]:
+    """Check Definition 2: each non-satiated flow needs a bottleneck.
+
+    A bottleneck for flow *i* is a link that is (a) saturated and
+    (b) on which *i*'s rate is maximal.  Returns one verdict per flow;
+    satiated (demand-limited) flows trivially pass and are reported with
+    ``bottleneck_link=None`` but ``has_bottleneck`` is not required for
+    them.
+    """
+    load: Dict[Hashable, float] = {link: 0.0 for link in link_capacities}
+    users: Dict[Hashable, List[Hashable]] = {
+        link: [] for link in link_capacities}
+    for flow in flows:
+        rate = allocation[flow.flow_id]
+        for link in flow.path:
+            load[link] += rate
+            users[link].append(flow.flow_id)
+    checks = []
+    for flow in flows:
+        rate = allocation[flow.flow_id]
+        if rate >= flow.demand - tolerance:
+            checks.append(BottleneckCheck(flow.flow_id, None))
+            continue
+        bottleneck = None
+        for link in flow.path:
+            capacity = link_capacities[link]
+            saturated = load[link] >= capacity * (1.0 - tolerance)
+            maximal = all(allocation[other] <= rate + tolerance *
+                          max(capacity, 1.0)
+                          for other in users[link])
+            if saturated and maximal:
+                bottleneck = link
+                break
+        checks.append(BottleneckCheck(flow.flow_id, bottleneck))
+    return checks
+
+
+def is_maxmin_fair(link_capacities: Dict[Hashable, float],
+                   flows: Sequence[FlowSpec],
+                   allocation: Dict[Hashable, float],
+                   tolerance: float = 1e-6) -> bool:
+    """True if every unsatiated flow has a Definition 2 bottleneck."""
+    for check, flow in zip(
+            verify_maxmin(link_capacities, flows, allocation, tolerance),
+            flows):
+        satiated = allocation[flow.flow_id] >= flow.demand - tolerance
+        if not satiated and not check.has_bottleneck:
+            return False
+    return True

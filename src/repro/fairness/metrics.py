@@ -1,0 +1,72 @@
+"""Fairness and efficiency metrics used throughout the evaluation.
+
+Two flavours of Jain's Fairness Index appear in the paper:
+
+* the plain JFI over per-flow goodputs (Table 2, Figures 10/12);
+* the *normalised* JFI of Figure 11, where each flow's goodput is first
+  divided by its ideal max-min allocation, so the index measures
+  distance from the max-min optimum rather than from equality
+  (important under multiple bottlenecks, where the fair allocation is
+  not uniform).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+
+def jain_fairness_index(rates: Sequence[float]) -> float:
+    """Jain's index: ``(Σx)² / (n·Σx²)``; 1/n (worst) to 1 (equal)."""
+    values = [max(float(rate), 0.0) for rate in rates]
+    if not values:
+        raise ValueError("JFI of an empty allocation is undefined")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0.0:
+        # All-zero allocations are conventionally perfectly fair.
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def normalized_jfi(rates: Dict[Hashable, float],
+                   ideal: Dict[Hashable, float]) -> float:
+    """Figure 11's metric: JFI over ``x_i = r_i / r̂_i``."""
+    if set(rates) != set(ideal):
+        raise ValueError("rates and ideal must cover the same flows")
+    ratios: List[float] = []
+    for flow, rate in rates.items():
+        reference = ideal[flow]
+        if reference <= 0:
+            raise ValueError(f"ideal allocation for {flow} must be "
+                             "positive")
+        ratios.append(rate / reference)
+    return jain_fairness_index(ratios)
+
+
+def jfi_time_series(per_flow_series: Dict[Hashable, Sequence[float]],
+                    active_from_bin: Dict[Hashable, int] = None
+                    ) -> List[float]:
+    """Per-bin JFI over flows (Figure 10).
+
+    ``active_from_bin`` optionally gives the first bin in which each
+    flow counts (flows joining later are excluded from earlier bins, as
+    in the figure, where the index is over the flows present).
+    """
+    if not per_flow_series:
+        return []
+    length = max(len(series) for series in per_flow_series.values())
+    result = []
+    for index in range(length):
+        values = []
+        for flow, series in per_flow_series.items():
+            if active_from_bin is not None and \
+                    index < active_from_bin.get(flow, 0):
+                continue
+            values.append(series[index] if index < len(series) else 0.0)
+        result.append(jain_fairness_index(values) if values else 1.0)
+    return result
+
+
+def average_bps(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,168 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate every other component builds on.  It keeps a
+priority queue of timestamped callbacks and executes them in order.  Time
+is an integer number of nanoseconds to keep event ordering exact and
+reproducible (floating point time makes rotation boundaries and
+control-plane deadlines drift, which matters for Cebinae's real-time
+queue-rotation protocol).
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(MILLISECOND, callback, arg1, arg2)
+    sim.run(until_ns=10 * SECOND)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+#: One nanosecond, the base time unit of the engine.
+NANOSECOND = 1
+#: Nanoseconds in a microsecond.
+MICROSECOND = 1_000
+#: Nanoseconds in a millisecond.
+MILLISECOND = 1_000_000
+#: Nanoseconds in a second.
+SECOND = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert a duration in (possibly fractional) seconds to nanoseconds."""
+    return int(round(value * SECOND))
+
+
+def to_seconds(value_ns: int) -> float:
+    """Convert a duration in nanoseconds to float seconds."""
+    return value_ns / SECOND
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be
+    cancelled.  Cancelled events stay in the heap but are skipped when
+    they surface, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time_ns", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time_ns: int, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        # Ties broken by insertion order so the schedule is deterministic.
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time_ns}ns, {state}, {self.callback!r})"
+
+
+class Simulator:
+    """An event-driven simulator with an integer-nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now_ns = 0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now_ns(self) -> int:
+        """The current simulation time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_seconds(self) -> float:
+        """The current simulation time in float seconds (for reporting)."""
+        return self._now_ns / SECOND
+
+    @property
+    def processed_events(self) -> int:
+        """The number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay_ns: int, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at(self._now_ns + delay_ns, callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self._now_ns}ns")
+        event = Event(time_ns, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time_ns(self) -> Optional[int]:
+        """The time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until_ns: Optional[int] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events in order.
+
+        Args:
+            until_ns: stop once the clock would pass this time; events at
+                exactly ``until_ns`` are executed.  The clock is advanced
+                to ``until_ns`` on return so that post-run measurements
+                cover the full interval.
+            max_events: safety valve for runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek_time_ns()
+                if next_time is None:
+                    break
+                if until_ns is not None and next_time > until_ns:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}")
+                self.step()
+                executed += 1
+            if until_ns is not None and until_ns > self._now_ns:
+                self._now_ns = until_ns
+        finally:
+            self._running = False

@@ -1,0 +1,84 @@
+"""Point-to-point links.
+
+A :class:`Link` is unidirectional: it models the transmitter of one port
+(serialization at ``rate_bps``) plus wire propagation (``delay_ns``).
+Bidirectional cables are simply two links.  The link owns the egress
+queue disc of its port and pulls from it whenever the transmitter is
+idle, which is the same service model as ns-3's
+``PointToPointNetDevice`` + traffic-control-layer queue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .engine import SECOND, Simulator
+from .packet import Packet
+from .queues import QueueDisc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``."""
+
+    def __init__(self, sim: Simulator, src: "Node", dst: "Node",
+                 rate_bps: float, delay_ns: int, queue: QueueDisc,
+                 name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay_ns = int(delay_ns)
+        self.queue = queue
+        self.name = name or f"{src.name}->{dst.name}"
+        self._busy = False
+        # Transmit-side counters (Cebinae's "egress pipeline" also hooks
+        # transmission; see CebinaeQueueDisc.on_transmit).
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        queue.set_waker(self._on_queue_ready)
+
+    @property
+    def capacity_bytes_per_sec(self) -> float:
+        """Link capacity in bytes per second."""
+        return self.rate_bps / 8.0
+
+    def serialization_delay_ns(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the wire."""
+        return int(round(size_bytes * 8 * SECOND / self.rate_bps))
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to this port.  Returns False if dropped."""
+        return self.queue.enqueue(packet)
+
+    def _on_queue_ready(self) -> None:
+        if not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = self.serialization_delay_ns(packet.size_bytes)
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        hook = getattr(self.queue, "on_transmit", None)
+        if hook is not None:
+            hook(packet)
+        self.sim.schedule(self.delay_ns, self.dst.receive, packet, self)
+        self._start_transmission()
+
+    def __repr__(self) -> str:
+        return (f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, "
+                f"{self.delay_ns / 1e6:.3f} ms)")

@@ -1,0 +1,125 @@
+"""Network nodes: hosts and routers.
+
+Routers forward packets between links using a static routing table
+(installed by :func:`repro.netsim.topology.Network.install_routes`).
+Hosts terminate flows: transport endpoints register a per-flow handler
+and outgoing packets are routed onto the host's (usually single) uplink.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from .engine import Simulator
+from .link import Link
+from .packet import FlowId, Packet
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """Base class for anything with ports."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = "") -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+        #: Outgoing links, in attachment order.
+        self.links: List[Link] = []
+        #: Static routing table: destination node id -> egress link.
+        self.routes: Dict[int, Link] = {}
+
+    def attach_link(self, link: Link) -> None:
+        self.links.append(link)
+
+    def route_for(self, dst: int) -> Link:
+        try:
+            return self.routes[dst]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no route to node {dst}") from None
+
+    def forward(self, packet: Packet) -> bool:
+        """Send ``packet`` toward its destination.  False if dropped."""
+        link = self.route_for(packet.flow.dst)
+        return link.send(packet)
+
+    def receive(self, packet: Packet, from_link: Link) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class Router(Node):
+    """A store-and-forward router."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = "") -> None:
+        super().__init__(sim, node_id, name)
+        self.forwarded_packets = 0
+
+    def receive(self, packet: Packet, from_link: Link) -> None:
+        self.forwarded_packets += 1
+        self.forward(packet)
+
+
+class Host(Node):
+    """An end host terminating transport connections."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = "") -> None:
+        super().__init__(sim, node_id, name)
+        self._handlers: Dict[FlowId, PacketHandler] = {}
+        self._default_handler: Optional[PacketHandler] = None
+        self._tx_jitter_ns = 0
+        self._jitter_rng: Optional[random.Random] = None
+        self._last_release_ns = 0
+
+    def register_handler(self, flow: FlowId, handler: PacketHandler) -> None:
+        """Deliver packets whose flow id equals ``flow`` to ``handler``."""
+        if flow in self._handlers:
+            raise ValueError(f"duplicate handler for {flow}")
+        self._handlers[flow] = handler
+
+    def unregister_handler(self, flow: FlowId) -> None:
+        self._handlers.pop(flow, None)
+
+    def set_default_handler(self, handler: PacketHandler) -> None:
+        """Handler for packets with no registered flow (diagnostics)."""
+        self._default_handler = handler
+
+    def receive(self, packet: Packet, from_link: Link) -> None:
+        handler = self._handlers.get(packet.flow)
+        if handler is not None:
+            handler(packet)
+        elif self._default_handler is not None:
+            self._default_handler(packet)
+        # Otherwise the packet is silently consumed, like a RST-less
+        # closed port.
+
+    def set_tx_jitter(self, jitter_ns: int,
+                      seed: Optional[int] = None) -> None:
+        """Add random send-side processing delay of U(0, jitter_ns).
+
+        Perfectly deterministic simulations of drop-tail queues suffer
+        *phase effects* (Floyd & Jacobson 1991): packet arrivals lock to
+        the bottleneck's service clock and one flow absorbs every drop.
+        Real hosts have OS timing noise; this reproduces it with a
+        per-host seeded RNG.  Delivery order per host is preserved
+        (release times are monotonic), so TCP never sees self-inflicted
+        reordering.
+        """
+        self._tx_jitter_ns = int(jitter_ns)
+        self._jitter_rng = random.Random(
+            seed if seed is not None else self.node_id)
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a locally generated packet into the network."""
+        if self._tx_jitter_ns <= 0:
+            return self.forward(packet)
+        release_ns = self.sim.now_ns + \
+            self._jitter_rng.randint(0, self._tx_jitter_ns)
+        release_ns = max(release_ns, self._last_release_ns)
+        self._last_release_ns = release_ns
+        self.sim.schedule_at(release_ns, self.forward, packet)
+        return True

@@ -1,0 +1,118 @@
+"""Queue disciplines: the base interface and FIFO drop-tail.
+
+Every egress port of every node owns a :class:`QueueDisc`.  The attached
+:class:`~repro.netsim.link.Link` pulls packets from it whenever the wire
+is idle; the queue calls its *waker* when a packet becomes available so
+an idle link can restart.
+
+The FIFO drop-tail queue here is the paper's baseline (the "FIFO" column
+of Table 2), with the buffer configured in MTUs exactly as the paper's
+``Buf. [MTU]`` column.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Deque, Optional
+
+from .packet import MTU_BYTES, Packet
+
+
+class QueueDisc:
+    """Base class for queue disciplines.
+
+    Subclasses implement :meth:`enqueue` and :meth:`dequeue`.  ``enqueue``
+    returns False when the packet is dropped; ``dequeue`` returns None
+    when no packet is ready.  Implementations must call
+    :meth:`notify_waker` when a packet becomes available after the queue
+    was empty, so that an idle link resumes transmission.
+    """
+
+    def __init__(self) -> None:
+        self._waker: Optional[Callable[[], None]] = None
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def set_waker(self, waker: Callable[[], None]) -> None:
+        """Register the link restart callback."""
+        self._waker = waker
+
+    def notify_waker(self) -> None:
+        if self._waker is not None:
+            self._waker()
+
+    def enqueue(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def byte_length(self) -> int:
+        raise NotImplementedError
+
+    def record_drop(self, packet: Packet) -> None:
+        """Account a dropped packet (shared bookkeeping for subclasses)."""
+        self.dropped_packets += 1
+        self.dropped_bytes += packet.size_bytes
+
+
+class DropTailQueue(QueueDisc):
+    """A FIFO queue that drops arriving packets when full.
+
+    The limit may be expressed in packets (MTUs, as in the paper's
+    configuration tables) or in bytes; when both are given the stricter
+    one applies.
+    """
+
+    def __init__(self, limit_packets: Optional[int] = None,
+                 limit_bytes: Optional[int] = None) -> None:
+        super().__init__()
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = 100  # ns-3 default pfifo depth.
+        self.limit_packets = limit_packets
+        self.limit_bytes = limit_bytes
+        self._queue: Deque[Packet] = collections.deque()
+        self._bytes = 0
+
+    @classmethod
+    def from_mtu_count(cls, mtus: int) -> "DropTailQueue":
+        """Build a queue holding ``mtus`` full-size packets, as Table 2."""
+        return cls(limit_packets=None, limit_bytes=mtus * MTU_BYTES)
+
+    def _would_overflow(self, packet: Packet) -> bool:
+        if (self.limit_packets is not None
+                and len(self._queue) + 1 > self.limit_packets):
+            return True
+        if (self.limit_bytes is not None
+                and self._bytes + packet.size_bytes > self.limit_bytes):
+            return True
+        return False
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self._would_overflow(packet):
+            self.record_drop(packet)
+            return False
+        was_empty = not self._queue
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        if was_empty:
+            self.notify_waker()
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes

@@ -1,0 +1,306 @@
+"""Topology construction and static routing.
+
+:class:`Network` wraps a :class:`~repro.netsim.engine.Simulator` and a
+set of nodes/links, computes static shortest-path routes with networkx,
+and provides the two topology families used throughout the paper's
+evaluation: the dumbbell (single bottleneck, Table 2 and most figures)
+and the 'Parking Lot' (multiple bottlenecks, Figure 11).
+
+Queue disciplines are injected per port through a *queue factory* so the
+same topology can be instantiated with FIFO, FQ-CoDel, or Cebinae on its
+bottleneck ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .engine import MILLISECOND, Simulator
+from .link import Link
+from .node import Host, Node, Router
+from .queues import DropTailQueue, QueueDisc
+
+
+@dataclass
+class PortSpec:
+    """Everything a queue factory may need to size itself."""
+
+    sim: Simulator
+    rate_bps: float
+    delay_ns: int
+    name: str
+
+
+QueueFactory = Callable[[PortSpec], QueueDisc]
+
+
+def drop_tail_factory(limit_packets: Optional[int] = None,
+                      limit_bytes: Optional[int] = None) -> QueueFactory:
+    """A factory producing plain drop-tail FIFOs."""
+    def factory(spec: PortSpec) -> QueueDisc:
+        return DropTailQueue(limit_packets=limit_packets,
+                             limit_bytes=limit_bytes)
+    return factory
+
+
+#: Default queue for uncongested ports (access links, reverse paths).
+DEFAULT_ACCESS_QUEUE = drop_tail_factory(limit_packets=1000)
+
+
+class Network:
+    """A simulated network: nodes, links, and static routes."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: Dict[int, Node] = {}
+        self.links: List[Link] = []
+        self.graph = nx.DiGraph()
+        self._next_id = 0
+
+    def _new_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def add_host(self, name: str = "") -> Host:
+        host = Host(self.sim, self._new_id(), name)
+        self.nodes[host.node_id] = host
+        self.graph.add_node(host.node_id)
+        return host
+
+    def add_router(self, name: str = "") -> Router:
+        router = Router(self.sim, self._new_id(), name)
+        self.nodes[router.node_id] = router
+        self.graph.add_node(router.node_id)
+        return router
+
+    def add_link(self, src: Node, dst: Node, rate_bps: float, delay_ns: int,
+                 queue_factory: Optional[QueueFactory] = None) -> Link:
+        """Add a unidirectional link with its egress queue."""
+        factory = queue_factory or DEFAULT_ACCESS_QUEUE
+        spec = PortSpec(sim=self.sim, rate_bps=rate_bps, delay_ns=delay_ns,
+                        name=f"{src.name}->{dst.name}")
+        link = Link(self.sim, src, dst, rate_bps, delay_ns,
+                    factory(spec), name=spec.name)
+        src.attach_link(link)
+        self.links.append(link)
+        self.graph.add_edge(src.node_id, dst.node_id, link=link,
+                            capacity_bps=rate_bps)
+        return link
+
+    def connect(self, a: Node, b: Node, rate_bps: float, delay_ns: int,
+                queue_ab: Optional[QueueFactory] = None,
+                queue_ba: Optional[QueueFactory] = None
+                ) -> Tuple[Link, Link]:
+        """Add a bidirectional cable (two independent links)."""
+        fwd = self.add_link(a, b, rate_bps, delay_ns, queue_ab)
+        rev = self.add_link(b, a, rate_bps, delay_ns, queue_ba)
+        return fwd, rev
+
+    def install_routes(self) -> None:
+        """Compute hop-count shortest paths and fill routing tables."""
+        paths = dict(nx.all_pairs_shortest_path(self.graph))
+        for src_id, dsts in paths.items():
+            node = self.nodes[src_id]
+            for dst_id, path in dsts.items():
+                if dst_id == src_id or len(path) < 2:
+                    continue
+                next_hop = path[1]
+                node.routes[dst_id] = self.graph.edges[src_id,
+                                                       next_hop]["link"]
+
+    def path_links(self, src: Node, dst: Node) -> List[Link]:
+        """The sequence of links a flow from src to dst traverses."""
+        path = nx.shortest_path(self.graph, src.node_id, dst.node_id)
+        return [self.graph.edges[u, v]["link"]
+                for u, v in zip(path, path[1:])]
+
+
+@dataclass
+class Dumbbell:
+    """A dumbbell topology: ``n`` senders, one bottleneck, ``n`` receivers.
+
+    Each sender/receiver pair has its own access links whose propagation
+    delays are chosen so the pair's round-trip time equals the requested
+    value.  The bottleneck queue (left router -> right router) is where
+    the queue disc under test is installed.
+    """
+
+    network: Network
+    senders: List[Host]
+    receivers: List[Host]
+    left_router: Router
+    right_router: Router
+    bottleneck: Link
+    rtts_ns: List[int] = field(default_factory=list)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+
+def host_jitter_ns(bottleneck_rate_bps: float) -> int:
+    """Default send-side jitter: one MTU's service time at the
+    bottleneck, the scale needed to break drop-tail phase effects."""
+    from .packet import MTU_BYTES
+    return int(MTU_BYTES * 8 * 1e9 / bottleneck_rate_bps)
+
+
+def build_dumbbell(rtts_ns: Sequence[int], bottleneck_rate_bps: float,
+                   bottleneck_queue: QueueFactory,
+                   access_rate_factor: float = 10.0,
+                   bottleneck_delay_ns: int = MILLISECOND // 2,
+                   sim: Optional[Simulator] = None,
+                   tx_jitter_ns: Optional[int] = None,
+                   jitter_seed: int = 0) -> Dumbbell:
+    """Build a dumbbell with one sender/receiver pair per RTT entry.
+
+    The RTT budget is split as: bottleneck propagation (fixed,
+    default 0.5 ms each way), receiver access (0.5 ms each way), and the
+    remainder on the sender access link.  Serialization delays add a
+    little on top; the requested value is treated as the base
+    (propagation-only) RTT, matching how ns-3 dumbbell scripts are
+    usually parameterised.
+    """
+    network = Network(sim)
+    left = network.add_router("L")
+    right = network.add_router("R")
+    access_rate = bottleneck_rate_bps * access_rate_factor
+    receiver_delay_ns = MILLISECOND // 2
+    if tx_jitter_ns is None:
+        tx_jitter_ns = host_jitter_ns(bottleneck_rate_bps)
+
+    bottleneck, _ = network.connect(left, right, bottleneck_rate_bps,
+                                    bottleneck_delay_ns,
+                                    queue_ab=bottleneck_queue)
+
+    reverse_bottleneck = network.graph.edges[right.node_id,
+                                             left.node_id]["link"]
+    senders: List[Host] = []
+    receivers: List[Host] = []
+    for index, rtt_ns in enumerate(rtts_ns):
+        one_way = rtt_ns // 2
+        sender_delay_ns = one_way - bottleneck_delay_ns - receiver_delay_ns
+        if sender_delay_ns < 0:
+            raise ValueError(
+                f"RTT {rtt_ns}ns too small for the fixed delay budget")
+        sender = network.add_host(f"s{index}")
+        receiver = network.add_host(f"d{index}")
+        if tx_jitter_ns > 0:
+            # Seeded per host and per replication so independent runs
+            # of the same scenario see different (but reproducible)
+            # timing noise.
+            sender.set_tx_jitter(tx_jitter_ns,
+                                 seed=sender.node_id
+                                 + 10_007 * jitter_seed)
+            receiver.set_tx_jitter(tx_jitter_ns,
+                                   seed=receiver.node_id
+                                   + 10_007 * jitter_seed)
+        to_left, from_left = network.connect(sender, left, access_rate,
+                                             sender_delay_ns)
+        to_receiver, from_receiver = network.connect(
+            right, receiver, access_rate, receiver_delay_ns)
+        senders.append(sender)
+        receivers.append(receiver)
+        # Install routes directly (O(n) instead of all-pairs shortest
+        # paths, which matters for the 1000-flow scenarios).
+        sender.routes[receiver.node_id] = to_left
+        left.routes[receiver.node_id] = bottleneck
+        right.routes[receiver.node_id] = to_receiver
+        receiver.routes[sender.node_id] = from_receiver
+        right.routes[sender.node_id] = reverse_bottleneck
+        left.routes[sender.node_id] = from_left
+    return Dumbbell(network=network, senders=senders, receivers=receivers,
+                    left_router=left, right_router=right,
+                    bottleneck=bottleneck, rtts_ns=list(rtts_ns))
+
+
+@dataclass
+class ParkingLot:
+    """The multi-bottleneck 'Parking Lot' topology of Figure 11.
+
+    ``routers[i] -> routers[i+1]`` are the bottleneck links.  *Long*
+    flows enter at the first router and exit after the last; *cross*
+    group ``i`` enters at ``routers[i]`` and exits at ``routers[i+1]``.
+    """
+
+    network: Network
+    routers: List[Router]
+    bottlenecks: List[Link]
+    long_senders: List[Host]
+    long_receivers: List[Host]
+    cross_senders: List[List[Host]]
+    cross_receivers: List[List[Host]]
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+
+def build_parking_lot(num_long_flows: int, cross_flow_counts: Sequence[int],
+                      bottleneck_rate_bps: float,
+                      bottleneck_queue: QueueFactory,
+                      access_delay_ns: int = MILLISECOND,
+                      bottleneck_delay_ns: int = 2 * MILLISECOND,
+                      access_rate_factor: float = 10.0,
+                      sim: Optional[Simulator] = None,
+                      tx_jitter_ns: Optional[int] = None,
+                      jitter_seed: int = 0) -> ParkingLot:
+    """Build a parking lot with one bottleneck per cross-traffic group."""
+    if not cross_flow_counts:
+        raise ValueError("need at least one bottleneck segment")
+    network = Network(sim)
+    num_segments = len(cross_flow_counts)
+    routers = [network.add_router(f"R{i}") for i in range(num_segments + 1)]
+    access_rate = bottleneck_rate_bps * access_rate_factor
+    if tx_jitter_ns is None:
+        tx_jitter_ns = host_jitter_ns(bottleneck_rate_bps)
+
+    def add_jittered_host(name: str) -> Host:
+        host = network.add_host(name)
+        if tx_jitter_ns > 0:
+            host.set_tx_jitter(tx_jitter_ns,
+                               seed=host.node_id
+                               + 10_007 * jitter_seed)
+        return host
+
+    bottlenecks = []
+    for i in range(num_segments):
+        fwd, _ = network.connect(routers[i], routers[i + 1],
+                                 bottleneck_rate_bps, bottleneck_delay_ns,
+                                 queue_ab=bottleneck_queue)
+        bottlenecks.append(fwd)
+
+    long_senders, long_receivers = [], []
+    for j in range(num_long_flows):
+        sender = add_jittered_host(f"ls{j}")
+        receiver = add_jittered_host(f"lr{j}")
+        network.connect(sender, routers[0], access_rate, access_delay_ns)
+        network.connect(routers[-1], receiver, access_rate, access_delay_ns)
+        long_senders.append(sender)
+        long_receivers.append(receiver)
+
+    cross_senders, cross_receivers = [], []
+    for i, count in enumerate(cross_flow_counts):
+        group_s, group_r = [], []
+        for j in range(count):
+            sender = add_jittered_host(f"cs{i}_{j}")
+            receiver = add_jittered_host(f"cr{i}_{j}")
+            network.connect(sender, routers[i], access_rate,
+                            access_delay_ns)
+            network.connect(routers[i + 1], receiver, access_rate,
+                            access_delay_ns)
+            group_s.append(sender)
+            group_r.append(receiver)
+        cross_senders.append(group_s)
+        cross_receivers.append(group_r)
+
+    network.install_routes()
+    return ParkingLot(network=network, routers=routers,
+                      bottlenecks=bottlenecks, long_senders=long_senders,
+                      long_receivers=long_receivers,
+                      cross_senders=cross_senders,
+                      cross_receivers=cross_receivers)

@@ -1,0 +1,28 @@
+"""TCP substrate: shared transport machinery plus the paper's CCA mix.
+
+NewReno (loss), Cubic/Bic (aggressive loss), Vegas (delay) and BBRv1
+(model-based, loss-oblivious) — the set the paper evaluates Cebinae
+against — all run over one sender/receiver implementation.
+"""
+
+from .bbr import Bbr, BbrState
+from .cca import (INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS, AckContext,
+                  CongestionControl, WindowedFilter)
+from .cubic import Bic, Cubic
+from .flows import (CCA_REGISTRY, TcpFlow, connect_flow, expand_mix,
+                    make_cca)
+from .newreno import NewReno
+from .socket import (DUPACK_THRESHOLD, INITIAL_RTO_NS, MAX_RTO_NS,
+                     MIN_RTO_NS, RttEstimator, TcpReceiver, TcpSender)
+from .udp import UdpSender, UdpSink, connect_udp_flow
+from .vegas import Vegas
+
+__all__ = [
+    "AckContext", "CongestionControl", "WindowedFilter",
+    "INITIAL_CWND_SEGMENTS", "MIN_CWND_SEGMENTS",
+    "NewReno", "Cubic", "Bic", "Vegas", "Bbr", "BbrState",
+    "TcpSender", "TcpReceiver", "RttEstimator",
+    "MIN_RTO_NS", "MAX_RTO_NS", "INITIAL_RTO_NS", "DUPACK_THRESHOLD",
+    "CCA_REGISTRY", "make_cca", "TcpFlow", "connect_flow", "expand_mix",
+    "UdpSender", "UdpSink", "connect_udp_flow",
+]

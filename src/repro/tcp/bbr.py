@@ -1,0 +1,218 @@
+"""TCP BBR version 1 (Cardwell et al., 2016).
+
+BBRv1 is the paper's model-based, loss-oblivious representative: it
+estimates the bottleneck bandwidth (windowed max of per-ACK delivery
+rate samples) and the round-trip propagation delay (windowed min RTT),
+paces at ``pacing_gain * btlbw`` and caps inflight at
+``cwnd_gain * BDP``.  Because it ignores loss, a single BBR flow can
+hold a large share of a buffer-limited bottleneck against any number of
+loss-based flows — the behaviour of Figure 8a that Cebinae taxes away.
+
+The implementation follows the BBRv1 Internet-Draft state machine
+(STARTUP → DRAIN → PROBE_BW ⇄ PROBE_RTT) with simplified round
+accounting: a round ends when the cumulative ACK passes the ``snd_nxt``
+recorded at the round's start.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .cca import AckContext, CongestionControl, WindowedFilter
+
+#: 2/ln(2): fills the pipe in the same number of RTTs as slow start.
+STARTUP_GAIN = 2.885
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+#: PROBE_BW pacing-gain cycle.
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+#: Bandwidth filter window, in rounds.
+BTLBW_WINDOW_ROUNDS = 10
+#: RTprop filter window, in nanoseconds.
+RTPROP_WINDOW_NS = 10_000_000_000
+#: Time spent in PROBE_RTT at minimal inflight.
+PROBE_RTT_DURATION_NS = 200_000_000
+#: Minimal cwnd during PROBE_RTT (segments).
+PROBE_RTT_CWND_SEGMENTS = 4
+
+
+class BbrState(enum.Enum):
+    STARTUP = "startup"
+    DRAIN = "drain"
+    PROBE_BW = "probe_bw"
+    PROBE_RTT = "probe_rtt"
+
+
+class Bbr(CongestionControl):
+    """BBRv1: rate-based congestion control that ignores loss."""
+
+    name = "bbr"
+
+    def __init__(self, mss_bytes: int = None) -> None:
+        if mss_bytes is None:
+            super().__init__()
+        else:
+            super().__init__(mss_bytes)
+        self.state = BbrState.STARTUP
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+        self._btlbw = WindowedFilter(BTLBW_WINDOW_ROUNDS, is_max=True)
+        self._rtprop_ns: Optional[int] = None
+        self._rtprop_stamp_ns = 0
+        self._rtprop_expired = False
+        # Round accounting.
+        self._round_count = 0
+        self._round_end_seq = 0
+        self._round_start = True
+        # Full-pipe detection (STARTUP exit).
+        self._full_bw_bps = 0.0
+        self._full_bw_count = 0
+        self._filled_pipe = False
+        # PROBE_BW cycle.
+        self._cycle_index = 2  # Start in a neutral (gain 1.0) phase.
+        self._cycle_stamp_ns = 0
+        # PROBE_RTT bookkeeping.
+        self._probe_rtt_done_ns: Optional[int] = None
+        self._cwnd_before_probe_rtt = self.cwnd_bytes
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def btlbw_bps(self) -> float:
+        """Current bottleneck bandwidth estimate (bits/sec)."""
+        return self._btlbw.get(0.0)
+
+    @property
+    def rtprop_ns(self) -> Optional[int]:
+        return self._rtprop_ns
+
+    def bdp_bytes(self, gain: float = 1.0) -> float:
+        if self._rtprop_ns is None or self.btlbw_bps <= 0:
+            return float("inf")
+        return gain * self.btlbw_bps / 8.0 * self._rtprop_ns / 1e9
+
+    def pacing_rate_bps(self) -> Optional[float]:
+        if self.btlbw_bps <= 0:
+            return None  # No samples yet: fall back to ACK clocking.
+        return self.pacing_gain * self.btlbw_bps
+
+    # -- state machine helpers ----------------------------------------------
+    def _update_round(self, ctx: AckContext) -> None:
+        self._round_start = False
+        if ctx.ack_seq >= self._round_end_seq:
+            self._round_count += 1
+            self._round_end_seq = ctx.snd_nxt
+            self._round_start = True
+
+    def _update_filters(self, ctx: AckContext) -> None:
+        if ctx.delivery_rate_bps is not None and ctx.delivery_rate_bps > 0:
+            if (not ctx.is_app_limited
+                    or ctx.delivery_rate_bps >= self.btlbw_bps):
+                self._btlbw.update(self._round_count, ctx.delivery_rate_bps)
+        if ctx.rtt_ns is not None:
+            # Latch expiry BEFORE refreshing the filter: the draft uses
+            # the latched flag to trigger PROBE_RTT even though the
+            # expired sample also replaces the stale estimate.
+            self._rtprop_expired = (
+                self._rtprop_ns is not None
+                and ctx.now_ns - self._rtprop_stamp_ns
+                > RTPROP_WINDOW_NS)
+            if (self._rtprop_ns is None or ctx.rtt_ns <= self._rtprop_ns
+                    or self._rtprop_expired):
+                self._rtprop_ns = ctx.rtt_ns
+                self._rtprop_stamp_ns = ctx.now_ns
+
+    def _check_full_pipe(self) -> None:
+        if self._filled_pipe or not self._round_start:
+            return
+        if self.btlbw_bps >= self._full_bw_bps * 1.25:
+            self._full_bw_bps = self.btlbw_bps
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self._filled_pipe = True
+
+    def _advance_cycle(self, now_ns: int) -> None:
+        if self._rtprop_ns is None:
+            return
+        if now_ns - self._cycle_stamp_ns > self._rtprop_ns:
+            self._cycle_index = (self._cycle_index + 1) % len(
+                PROBE_BW_GAINS)
+            self._cycle_stamp_ns = now_ns
+            self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+
+    def _enter_probe_bw(self, now_ns: int) -> None:
+        self.state = BbrState.PROBE_BW
+        self.cwnd_gain = 2.0
+        self._cycle_index = 2
+        self._cycle_stamp_ns = now_ns
+        self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+
+    def _maybe_enter_probe_rtt(self, ctx: AckContext) -> None:
+        rtprop_expired = self._rtprop_expired
+        self._rtprop_expired = False
+        if (rtprop_expired and self.state is not BbrState.PROBE_RTT):
+            self.state = BbrState.PROBE_RTT
+            self._cwnd_before_probe_rtt = self.cwnd_bytes
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self._probe_rtt_done_ns = ctx.now_ns + PROBE_RTT_DURATION_NS
+
+    def _handle_probe_rtt(self, ctx: AckContext) -> None:
+        self.cwnd_bytes = float(PROBE_RTT_CWND_SEGMENTS * self.mss)
+        if (self._probe_rtt_done_ns is not None
+                and ctx.now_ns >= self._probe_rtt_done_ns):
+            self._rtprop_stamp_ns = ctx.now_ns
+            self.cwnd_bytes = self._cwnd_before_probe_rtt
+            if self._filled_pipe:
+                self._enter_probe_bw(ctx.now_ns)
+            else:
+                self.state = BbrState.STARTUP
+                self.pacing_gain = STARTUP_GAIN
+                self.cwnd_gain = STARTUP_GAIN
+
+    def _set_cwnd(self) -> None:
+        bdp = self.bdp_bytes(self.cwnd_gain)
+        if bdp == float("inf"):
+            return  # Keep the initial window until we have estimates.
+        floor = PROBE_RTT_CWND_SEGMENTS * self.mss
+        self.cwnd_bytes = max(bdp, float(floor))
+
+    # -- CCA hooks ------------------------------------------------------------
+    def on_ack(self, ctx: AckContext) -> None:
+        self._update_round(ctx)
+        self._update_filters(ctx)
+        if self.state is BbrState.STARTUP:
+            self._check_full_pipe()
+            if self._filled_pipe:
+                self.state = BbrState.DRAIN
+                self.pacing_gain = DRAIN_GAIN
+                self.cwnd_gain = STARTUP_GAIN
+        if self.state is BbrState.DRAIN:
+            if ctx.in_flight_bytes <= self.bdp_bytes(1.0):
+                self._enter_probe_bw(ctx.now_ns)
+        if self.state is BbrState.PROBE_BW:
+            self._advance_cycle(ctx.now_ns)
+        self._maybe_enter_probe_rtt(ctx)
+        if self.state is BbrState.PROBE_RTT:
+            self._handle_probe_rtt(ctx)
+        else:
+            self._set_cwnd()
+
+    # BBRv1 deliberately ignores loss signals: window and rate come from
+    # the model, not from AIMD reactions.
+    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+        pass
+
+    def on_exit_recovery(self, now_ns: int) -> None:
+        pass
+
+    def on_retransmit_timeout(self, in_flight_bytes: int,
+                              now_ns: int) -> None:
+        # Retain the model; the socket still retransmits.  (Real BBRv1
+        # sets cwnd to 1 packet but restores it from the model within a
+        # round; we skip the dip.)
+        pass
+
+    def on_ecn(self, now_ns: int) -> None:
+        pass  # BBRv1 ignores ECN as well.

@@ -1,0 +1,166 @@
+"""TCP Cubic (RFC 8312) and its predecessor BIC.
+
+Cubic is the Linux/Windows default and one of the paper's main
+aggressors: it grows its window as a cubic function of the time since
+the last loss, which lets it outcompete NewReno — up to 80% of a shared
+bottleneck per the paper's citation of [44].  BIC, its predecessor
+(used in Figure 11/Table 2's ``Bic`` rows), performs a binary search
+toward the window size at the last loss.
+
+Both implementations follow the structure of the Linux kernel modules,
+with window arithmetic in segments internally (as the RFC specifies)
+and bytes at the interface.
+"""
+
+from __future__ import annotations
+
+from .cca import (AckContext, CongestionControl,
+                  congestion_avoidance_increase, slow_start_increase)
+
+
+class Cubic(CongestionControl):
+    """RFC 8312 CUBIC with fast convergence and TCP-friendly region."""
+
+    name = "cubic"
+    C = 0.4           # Scaling constant (segments / sec^3).
+    beta = 0.7        # Multiplicative decrease factor.
+    fast_convergence = True
+
+    def __init__(self, mss_bytes: int = None) -> None:
+        if mss_bytes is None:
+            super().__init__()
+        else:
+            super().__init__(mss_bytes)
+        self._w_max_seg = 0.0        # Window (segments) at last reduction.
+        self._k_sec = 0.0            # Time to regrow to w_max.
+        self._epoch_start_ns = None  # Start of the current growth epoch.
+        self._w_est_seg = 0.0        # TCP-friendly window estimate.
+        self._acked_since_epoch = 0.0
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def _cwnd_seg(self) -> float:
+        return self.cwnd_bytes / self.mss
+
+    def _begin_epoch(self, now_ns: int) -> None:
+        self._epoch_start_ns = now_ns
+        cwnd_seg = self._cwnd_seg
+        if cwnd_seg < self._w_max_seg:
+            self._k_sec = ((self._w_max_seg - cwnd_seg) / self.C) ** (1 / 3)
+        else:
+            self._k_sec = 0.0
+            self._w_max_seg = cwnd_seg
+        self._w_est_seg = cwnd_seg
+        self._acked_since_epoch = 0.0
+
+    def _cubic_target_seg(self, now_ns: int) -> float:
+        t_sec = (now_ns - self._epoch_start_ns) / 1e9
+        return (self.C * (t_sec - self._k_sec) ** 3 + self._w_max_seg)
+
+    # -- CCA hooks ---------------------------------------------------------
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.in_recovery:
+            return
+        if self.in_slow_start:
+            slow_start_increase(self, ctx.acked_bytes)
+            return
+        if self._epoch_start_ns is None:
+            self._begin_epoch(ctx.now_ns)
+        target_seg = self._cubic_target_seg(ctx.now_ns)
+        cwnd_seg = self._cwnd_seg
+        if target_seg > cwnd_seg:
+            # Kernel-style growth: (target - cwnd)/cwnd segments per ACK.
+            self.cwnd_bytes += self.mss * (target_seg - cwnd_seg) / cwnd_seg
+        else:
+            # Minimal probing while in the plateau region.
+            self.cwnd_bytes += self.mss * 0.01 / cwnd_seg
+        # TCP-friendly region (RFC 8312 section 4.2): grow W_est like
+        # AIMD(alpha_aimd, beta) Reno and never fall below it.
+        rtt_sec = (ctx.rtt_ns or 0) / 1e9
+        if rtt_sec > 0:
+            alpha_aimd = 3.0 * (1 - self.beta) / (1 + self.beta)
+            self._acked_since_epoch += ctx.acked_bytes / self.mss
+            self._w_est_seg = (self._w_est_seg
+                               + alpha_aimd * ctx.acked_bytes
+                               / (self.mss * self._cwnd_seg))
+            if self._w_est_seg > self._cwnd_seg:
+                self.cwnd_bytes = self._w_est_seg * self.mss
+        self.clamp()
+
+    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+        cwnd_seg = self._cwnd_seg
+        if self.fast_convergence and cwnd_seg < self._w_max_seg:
+            self._w_max_seg = cwnd_seg * (2 - self.beta) / 2
+        else:
+            self._w_max_seg = cwnd_seg
+        self.ssthresh_bytes = max(self.cwnd_bytes * self.beta, 2 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes
+        self._epoch_start_ns = None
+        self.clamp()
+
+    def on_retransmit_timeout(self, in_flight_bytes: int,
+                              now_ns: int) -> None:
+        super().on_retransmit_timeout(in_flight_bytes, now_ns)
+        self._epoch_start_ns = None
+
+
+class Bic(CongestionControl):
+    """Binary Increase Congestion control (Xu et al., INFOCOM 2004)."""
+
+    name = "bic"
+    beta = 0.8           # Linux bictcp: 819/1024.
+    smax_seg = 16.0      # Maximum increment per RTT (segments).
+    smin_seg = 0.01      # Minimum increment per RTT.
+    low_window_seg = 14  # Below this, behave like Reno.
+
+    def __init__(self, mss_bytes: int = None) -> None:
+        if mss_bytes is None:
+            super().__init__()
+        else:
+            super().__init__(mss_bytes)
+        self._w_max_seg = 0.0
+
+    @property
+    def _cwnd_seg(self) -> float:
+        return self.cwnd_bytes / self.mss
+
+    def _increment_seg(self) -> float:
+        """Per-RTT window increment from the binary search rule."""
+        cwnd = self._cwnd_seg
+        if self._w_max_seg <= 0:
+            return 1.0
+        if cwnd < self._w_max_seg:
+            distance = (self._w_max_seg - cwnd) / 2.0
+            return min(max(distance, self.smin_seg), self.smax_seg)
+        # Max probing: slow start away from w_max, capped at Smax.
+        overshoot = cwnd - self._w_max_seg
+        return min(max(overshoot, 1.0), self.smax_seg)
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.in_recovery:
+            return
+        if self.in_slow_start:
+            slow_start_increase(self, ctx.acked_bytes)
+            return
+        if self._cwnd_seg < self.low_window_seg:
+            congestion_avoidance_increase(self, ctx.acked_bytes)
+            return
+        # Spread the per-RTT increment over the window's worth of ACKs.
+        self.cwnd_bytes += (self.mss * self._increment_seg()
+                            / self._cwnd_seg)
+        self.clamp()
+
+    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+        cwnd_seg = self._cwnd_seg
+        if cwnd_seg < self._w_max_seg:
+            # Fast convergence.
+            self._w_max_seg = cwnd_seg * (2 - self.beta) / 2
+        else:
+            self._w_max_seg = cwnd_seg
+        if cwnd_seg < self.low_window_seg:
+            self.ssthresh_bytes = max(self.cwnd_bytes * 0.5, 2 * self.mss)
+        else:
+            self.ssthresh_bytes = max(self.cwnd_bytes * self.beta,
+                                      2 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes
+        self.clamp()

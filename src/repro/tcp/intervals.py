@@ -1,0 +1,94 @@
+"""Byte-range interval sets for SACK bookkeeping.
+
+Both endpoints of the TCP connection need to reason about sets of byte
+ranges: the receiver tracks out-of-order data to generate SACK blocks,
+and the sender keeps the SACK scoreboard.  :class:`IntervalSet` stores
+disjoint, sorted, half-open ``[start, end)`` ranges with O(log n)
+insertion via binary search and merge.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+
+class IntervalSet:
+    """A set of disjoint half-open byte ranges ``[start, end)``."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{s},{e})" for s, e in self)
+        return f"IntervalSet({ranges})"
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all range lengths."""
+        return sum(end - start
+                   for start, end in zip(self._starts, self._ends))
+
+    @property
+    def max_end(self) -> int:
+        """The highest covered byte + 1, or 0 when empty."""
+        return self._ends[-1] if self._ends else 0
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging any overlapping ranges."""
+        if end <= start:
+            raise ValueError(f"empty or inverted range [{start},{end})")
+        # Find all existing ranges that touch or overlap the new one.
+        left = bisect.bisect_left(self._ends, start)
+        right = bisect.bisect_right(self._starts, end)
+        if left < right:
+            start = min(start, self._starts[left])
+            end = max(end, self._ends[right - 1])
+        self._starts[left:right] = [start]
+        self._ends[left:right] = [end]
+
+    def contains(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` is entirely covered."""
+        if end <= start:
+            return True
+        index = bisect.bisect_right(self._starts, start) - 1
+        return (index >= 0 and self._ends[index] >= end)
+
+    def covers_point(self, point: int) -> bool:
+        """True if ``point`` lies inside some range."""
+        index = bisect.bisect_right(self._starts, point) - 1
+        return index >= 0 and point < self._ends[index]
+
+    def first_gap_at_or_after(self, point: int) -> int:
+        """The lowest byte >= ``point`` not covered by any range."""
+        index = bisect.bisect_right(self._starts, point) - 1
+        while index >= 0 and point < self._ends[index]:
+            point = self._ends[index]
+            index = bisect.bisect_right(self._starts, point) - 1
+        return point
+
+    def prune_below(self, point: int) -> None:
+        """Discard all coverage below ``point``."""
+        index = bisect.bisect_right(self._ends, point)
+        del self._starts[:index]
+        del self._ends[:index]
+        if self._starts and self._starts[0] < point:
+            self._starts[0] = point
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    def first_blocks(self, limit: int = 3) -> List[Tuple[int, int]]:
+        """The first ``limit`` ranges (for SACK option generation)."""
+        return list(zip(self._starts[:limit], self._ends[:limit]))

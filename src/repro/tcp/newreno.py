@@ -1,0 +1,33 @@
+"""TCP NewReno congestion control (RFC 5681 + RFC 6582).
+
+The classic loss-based algorithm: slow start, AIMD congestion
+avoidance, halving on fast retransmit.  The NewReno partial-ACK logic
+itself lives in the shared socket (it is about retransmission, not
+window arithmetic); this class supplies the window dynamics.
+"""
+
+from __future__ import annotations
+
+from .cca import (AckContext, CongestionControl,
+                  congestion_avoidance_increase, slow_start_increase)
+
+
+class NewReno(CongestionControl):
+    """Loss-based AIMD with multiplicative decrease of 1/2."""
+
+    name = "newreno"
+    beta = 0.5
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.in_recovery:
+            return
+        if self.in_slow_start:
+            slow_start_increase(self, ctx.acked_bytes)
+        else:
+            congestion_avoidance_increase(self, ctx.acked_bytes)
+
+    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+        self.ssthresh_bytes = max(in_flight_bytes * self.beta,
+                                  2 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes
+        self.clamp()

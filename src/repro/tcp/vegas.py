@@ -1,0 +1,97 @@
+"""TCP Vegas (Brakmo & Peterson, 1994).
+
+Vegas is the paper's delay-based representative.  It estimates the
+number of its own packets queued in the network,
+
+    diff = cwnd * (rtt - base_rtt) / rtt            [segments]
+
+and tries to keep it between ``alpha`` and ``beta`` by adjusting the
+window once per RTT.  Because Vegas backs off as soon as queueing delay
+appears, it is systematically starved by loss-based algorithms that
+fill the buffer — the effect Figures 7/8b quantify and Cebinae repairs.
+"""
+
+from __future__ import annotations
+
+from .cca import AckContext, CongestionControl, slow_start_increase
+
+
+class Vegas(CongestionControl):
+    """Delay-based congestion avoidance, once-per-RTT adjustments."""
+
+    name = "vegas"
+    alpha_seg = 2.0  # Lower bound on queued segments.
+    beta_seg = 4.0   # Upper bound on queued segments.
+    gamma_seg = 1.0  # Slow-start exit threshold.
+
+    def __init__(self, mss_bytes: int = None) -> None:
+        if mss_bytes is None:
+            super().__init__()
+        else:
+            super().__init__(mss_bytes)
+        self._base_rtt_ns = None      # Minimum RTT ever observed.
+        self._epoch_min_rtt_ns = None  # Minimum RTT this epoch.
+        self._epoch_end_seq = 0       # Ack seq that ends the epoch.
+        self._rtt_count = 0
+        self._slow_start_toggle = False
+
+    def _observe_rtt(self, rtt_ns: int) -> None:
+        if self._base_rtt_ns is None or rtt_ns < self._base_rtt_ns:
+            self._base_rtt_ns = rtt_ns
+        if (self._epoch_min_rtt_ns is None
+                or rtt_ns < self._epoch_min_rtt_ns):
+            self._epoch_min_rtt_ns = rtt_ns
+
+    def _diff_segments(self) -> float:
+        """Estimated own packets queued at the bottleneck."""
+        rtt = self._epoch_min_rtt_ns
+        base = self._base_rtt_ns
+        if rtt is None or base is None or rtt <= 0:
+            return 0.0
+        cwnd_seg = self.cwnd_bytes / self.mss
+        return cwnd_seg * (rtt - base) / rtt
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.rtt_ns is not None:
+            self._observe_rtt(ctx.rtt_ns)
+        if ctx.in_recovery:
+            return
+        if ctx.ack_seq < self._epoch_end_seq:
+            return  # Still inside the current RTT epoch.
+        # One RTT elapsed: make the Vegas decision.
+        diff = self._diff_segments()
+        if self.in_slow_start:
+            # Vegas slow start: double every *other* RTT, exit when the
+            # queue estimate crosses gamma.
+            if diff > self.gamma_seg:
+                # Leave slow start: trim the window by one segment and
+                # pull ssthresh down to it so in_slow_start is False.
+                self.cwnd_bytes = max(self.cwnd_bytes - self.mss,
+                                      2 * self.mss)
+                self.ssthresh_bytes = min(self.ssthresh_bytes,
+                                          self.cwnd_bytes)
+            else:
+                self._slow_start_toggle = not self._slow_start_toggle
+                if self._slow_start_toggle:
+                    self.cwnd_bytes += self.cwnd_bytes  # Double.
+        else:
+            if diff < self.alpha_seg:
+                self.cwnd_bytes += self.mss
+            elif diff > self.beta_seg:
+                self.cwnd_bytes -= self.mss
+            # else: in the sweet spot, hold.
+        self.clamp()
+        self._epoch_end_seq = ctx.snd_nxt
+        self._epoch_min_rtt_ns = None
+        self._rtt_count += 1
+
+    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+        # Vegas falls back to Reno-style halving on packet loss.
+        self.ssthresh_bytes = max(in_flight_bytes * 0.5, 2 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes
+        self.clamp()
+
+    @property
+    def base_rtt_ns(self):
+        """The minimum RTT observed so far (None before first sample)."""
+        return self._base_rtt_ns

@@ -1,0 +1,146 @@
+"""Unit tests for Cubic and Bic window dynamics."""
+
+import pytest
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.cca import AckContext
+from repro.tcp.cubic import Bic, Cubic
+
+SECOND_NS = 1_000_000_000
+
+
+def ack(cca, now_ns, acked=MSS_BYTES, rtt_ns=20_000_000):
+    cca.on_ack(AckContext(acked_bytes=acked, ack_seq=0, rtt_ns=rtt_ns,
+                          now_ns=now_ns, in_flight_bytes=0, snd_nxt=0))
+
+
+def into_avoidance(cca, cwnd_seg=50):
+    cca.cwnd_bytes = cwnd_seg * MSS_BYTES
+    cca.ssthresh_bytes = cwnd_seg * MSS_BYTES
+
+
+class TestCubicReduction:
+    def test_beta_reduction(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(70 * MSS_BYTES)
+
+    def test_w_max_recorded(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        assert cca._w_max_seg == pytest.approx(100)
+
+    def test_fast_convergence_lowers_w_max(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        # Second loss below the previous w_max triggers fast
+        # convergence: remembered peak shrinks below the actual cwnd.
+        cca.cwnd_bytes = 80 * MSS_BYTES
+        cca.on_enter_recovery(80 * MSS_BYTES, now_ns=SECOND_NS)
+        assert cca._w_max_seg == pytest.approx(80 * (2 - 0.7) / 2)
+
+
+class TestCubicGrowth:
+    def test_k_matches_rfc_formula(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        ack(cca, now_ns=1_000_000)  # Starts the epoch.
+        expected_k = ((100 - 70) / Cubic.C) ** (1 / 3)
+        assert cca._k_sec == pytest.approx(expected_k, rel=0.01)
+
+    def test_concave_region_approaches_w_max(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        # Ack steadily for K seconds; the window should approach w_max.
+        k_ns = int(cca._k_sec * SECOND_NS) if cca._k_sec else 0
+        now = 0
+        for _ in range(2000):
+            now += 10_000_000
+            ack(cca, now_ns=now)
+        assert cca.cwnd_bytes / MSS_BYTES >= 90
+
+    def test_convex_region_accelerates(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        samples = []
+        now = 0
+        for step in range(3000):
+            now += 10_000_000
+            ack(cca, now_ns=now)
+            samples.append(cca.cwnd_bytes)
+        # Growth rate late in the epoch exceeds growth just after K.
+        early = samples[1500] - samples[1400]
+        late = samples[2900] - samples[2800]
+        assert late > early
+
+    def test_cubic_beats_reno_growth_at_long_rtt(self):
+        """The headline property: over a long-RTT path Cubic regrows
+        much faster than AIMD would."""
+        cca = Cubic()
+        into_avoidance(cca, 400)
+        cca.on_enter_recovery(400 * MSS_BYTES, now_ns=0)
+        start = cca.cwnd_bytes
+        now = 0
+        rtt_ns = 200_000_000
+        # 20 seconds = 100 RTTs; Reno would add ~100 MSS.
+        for _ in range(2000):
+            now += 10_000_000
+            ack(cca, now_ns=now, rtt_ns=rtt_ns)
+        gained_seg = (cca.cwnd_bytes - start) / MSS_BYTES
+        assert gained_seg > 150
+
+
+class TestCubicTimeout:
+    def test_timeout_resets_epoch(self):
+        cca = Cubic()
+        into_avoidance(cca, 100)
+        ack(cca, now_ns=1_000_000)
+        cca.on_retransmit_timeout(100 * MSS_BYTES, now_ns=2_000_000)
+        assert cca._epoch_start_ns is None
+        assert cca.cwnd_bytes == MSS_BYTES
+
+
+class TestBic:
+    def test_reduction_uses_bic_beta(self):
+        cca = Bic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(80 * MSS_BYTES)
+
+    def test_low_window_uses_reno_beta(self):
+        cca = Bic()
+        into_avoidance(cca, 10)
+        cca.on_enter_recovery(10 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(5 * MSS_BYTES)
+
+    def test_binary_search_increment_is_half_distance(self):
+        cca = Bic()
+        cca._w_max_seg = 100
+        cca.cwnd_bytes = 80 * MSS_BYTES
+        assert cca._increment_seg() == pytest.approx(10)
+
+    def test_increment_capped_at_smax(self):
+        cca = Bic()
+        cca._w_max_seg = 1000
+        cca.cwnd_bytes = 100 * MSS_BYTES
+        assert cca._increment_seg() == Bic.smax_seg
+
+    def test_max_probing_beyond_w_max(self):
+        cca = Bic()
+        cca._w_max_seg = 50
+        cca.cwnd_bytes = 60 * MSS_BYTES
+        assert cca._increment_seg() == pytest.approx(10)
+
+    def test_growth_converges_toward_w_max(self):
+        cca = Bic()
+        into_avoidance(cca, 100)
+        cca.on_enter_recovery(100 * MSS_BYTES, now_ns=0)
+        for step in range(4000):
+            ack(cca, now_ns=step * 1_000_000)
+        assert cca.cwnd_bytes / MSS_BYTES >= 95

@@ -1,0 +1,92 @@
+"""Unit tests for NewReno window arithmetic."""
+
+import pytest
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.cca import (INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS,
+                           AckContext)
+from repro.tcp.newreno import NewReno
+
+
+def ack(cca, acked=MSS_BYTES, rtt_ns=10_000_000, now_ns=0,
+        in_recovery=False):
+    cca.on_ack(AckContext(acked_bytes=acked, ack_seq=0, rtt_ns=rtt_ns,
+                          now_ns=now_ns, in_flight_bytes=0,
+                          snd_nxt=0, in_recovery=in_recovery))
+
+
+class TestSlowStart:
+    def test_initial_window(self):
+        cca = NewReno()
+        assert cca.cwnd_bytes == INITIAL_CWND_SEGMENTS * MSS_BYTES
+        assert cca.in_slow_start
+
+    def test_grows_one_mss_per_acked_mss(self):
+        cca = NewReno()
+        before = cca.cwnd_bytes
+        ack(cca)
+        assert cca.cwnd_bytes == before + MSS_BYTES
+
+    def test_abc_caps_growth_per_ack(self):
+        cca = NewReno()
+        before = cca.cwnd_bytes
+        ack(cca, acked=10 * MSS_BYTES)
+        assert cca.cwnd_bytes == before + MSS_BYTES
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_after_ssthresh(self):
+        cca = NewReno()
+        cca.ssthresh_bytes = cca.cwnd_bytes  # Exit slow start.
+        before = cca.cwnd_bytes
+        # One window's worth of ACKs grows cwnd by about one MSS.
+        acks = int(before / MSS_BYTES)
+        for _ in range(acks):
+            ack(cca)
+        assert cca.cwnd_bytes == pytest.approx(before + MSS_BYTES,
+                                               rel=0.05)
+
+    def test_no_growth_during_recovery(self):
+        cca = NewReno()
+        before = cca.cwnd_bytes
+        ack(cca, in_recovery=True)
+        assert cca.cwnd_bytes == before
+
+
+class TestMultiplicativeDecrease:
+    def test_halves_on_recovery(self):
+        cca = NewReno()
+        cca.cwnd_bytes = 100 * MSS_BYTES
+        cca.on_enter_recovery(in_flight_bytes=100 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(50 * MSS_BYTES)
+        assert cca.ssthresh_bytes == pytest.approx(50 * MSS_BYTES)
+
+    def test_floor_of_two_segments(self):
+        cca = NewReno()
+        cca.cwnd_bytes = 2 * MSS_BYTES
+        cca.on_enter_recovery(in_flight_bytes=2 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes >= MIN_CWND_SEGMENTS * MSS_BYTES
+
+    def test_rto_collapses_to_one_segment(self):
+        cca = NewReno()
+        cca.cwnd_bytes = 100 * MSS_BYTES
+        cca.on_retransmit_timeout(in_flight_bytes=100 * MSS_BYTES,
+                                  now_ns=0)
+        assert cca.cwnd_bytes == MSS_BYTES
+        assert cca.ssthresh_bytes == pytest.approx(50 * MSS_BYTES)
+
+    def test_exit_recovery_restores_ssthresh(self):
+        cca = NewReno()
+        cca.cwnd_bytes = 80 * MSS_BYTES
+        cca.on_enter_recovery(80 * MSS_BYTES, now_ns=0)
+        cca.on_exit_recovery(now_ns=0)
+        assert cca.cwnd_bytes == cca.ssthresh_bytes
+
+
+class TestEcnReaction:
+    def test_ecn_acts_like_loss(self):
+        cca = NewReno()
+        cca.cwnd_bytes = 60 * MSS_BYTES
+        cca.ssthresh_bytes = 10 * MSS_BYTES
+        cca.on_ecn(now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(30 * MSS_BYTES)

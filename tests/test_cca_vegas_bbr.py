@@ -1,0 +1,241 @@
+"""Unit tests for Vegas (delay-based) and BBRv1 (model-based)."""
+
+import pytest
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.bbr import (PROBE_BW_GAINS, PROBE_RTT_CWND_SEGMENTS,
+                           STARTUP_GAIN, Bbr, BbrState)
+from repro.tcp.cca import AckContext, WindowedFilter
+from repro.tcp.vegas import Vegas
+
+MS = 1_000_000
+
+
+def ack(cca, rtt_ns, ack_seq, snd_nxt, now_ns, acked=MSS_BYTES,
+        rate_bps=None, in_flight=0):
+    cca.on_ack(AckContext(acked_bytes=acked, ack_seq=ack_seq,
+                          rtt_ns=rtt_ns, now_ns=now_ns,
+                          in_flight_bytes=in_flight, snd_nxt=snd_nxt,
+                          delivery_rate_bps=rate_bps))
+
+
+class TestWindowedFilter:
+    def test_max_within_window(self):
+        filt = WindowedFilter(window=10, is_max=True)
+        filt.update(0, 5.0)
+        filt.update(1, 3.0)
+        assert filt.get() == 5.0
+
+    def test_old_samples_expire(self):
+        filt = WindowedFilter(window=10, is_max=True)
+        filt.update(0, 9.0)
+        filt.update(11, 4.0)
+        assert filt.get() == 4.0
+
+    def test_min_filter(self):
+        filt = WindowedFilter(window=10, is_max=False)
+        filt.update(0, 5.0)
+        filt.update(1, 2.0)
+        filt.update(2, 7.0)
+        assert filt.get() == 2.0
+
+    def test_default_when_empty(self):
+        assert WindowedFilter(5).get(default=42.0) == 42.0
+
+
+class TestVegasEstimation:
+    def test_base_rtt_is_minimum(self):
+        cca = Vegas()
+        ack(cca, rtt_ns=30 * MS, ack_seq=10_000, snd_nxt=20_000,
+            now_ns=0)
+        ack(cca, rtt_ns=25 * MS, ack_seq=30_000, snd_nxt=40_000,
+            now_ns=MS)
+        ack(cca, rtt_ns=35 * MS, ack_seq=50_000, snd_nxt=60_000,
+            now_ns=2 * MS)
+        assert cca.base_rtt_ns == 25 * MS
+
+    def test_diff_segments_formula(self):
+        cca = Vegas()
+        cca.cwnd_bytes = 10 * MSS_BYTES
+        cca._base_rtt_ns = 100 * MS
+        cca._epoch_min_rtt_ns = 125 * MS
+        # diff = cwnd * (rtt - base) / rtt = 10 * 25/125 = 2 segments.
+        assert cca._diff_segments() == pytest.approx(2.0)
+
+
+class TestVegasAdjustments:
+    def make_in_avoidance(self, cwnd_seg=10):
+        cca = Vegas()
+        cca.cwnd_bytes = cwnd_seg * MSS_BYTES
+        cca.ssthresh_bytes = cwnd_seg * MSS_BYTES / 2  # Not slow start.
+        cca._base_rtt_ns = 100 * MS
+        return cca
+
+    def epoch(self, cca, rtt_ns):
+        """Deliver one RTT epoch's worth of signal."""
+        end = cca._epoch_end_seq
+        ack(cca, rtt_ns=rtt_ns, ack_seq=end, snd_nxt=end + 100_000,
+            now_ns=0)
+
+    def test_grows_when_queue_below_alpha(self):
+        cca = self.make_in_avoidance()
+        before = cca.cwnd_bytes
+        self.epoch(cca, rtt_ns=101 * MS)  # diff ~ 0.1 segment.
+        assert cca.cwnd_bytes == before + MSS_BYTES
+
+    def test_shrinks_when_queue_above_beta(self):
+        cca = self.make_in_avoidance()
+        before = cca.cwnd_bytes
+        self.epoch(cca, rtt_ns=200 * MS)  # diff = 5 segments.
+        assert cca.cwnd_bytes == before - MSS_BYTES
+
+    def test_holds_in_sweet_spot(self):
+        cca = self.make_in_avoidance()
+        before = cca.cwnd_bytes
+        self.epoch(cca, rtt_ns=143 * MS)  # diff ~ 3 segments.
+        assert cca.cwnd_bytes == before
+
+    def test_adjusts_once_per_epoch(self):
+        cca = self.make_in_avoidance()
+        before = cca.cwnd_bytes
+        end = cca._epoch_end_seq
+        ack(cca, rtt_ns=101 * MS, ack_seq=end, snd_nxt=end + 100_000,
+            now_ns=0)
+        # Acks inside the new epoch do not adjust again.
+        ack(cca, rtt_ns=101 * MS, ack_seq=end + 10_000,
+            snd_nxt=end + 100_000, now_ns=MS)
+        assert cca.cwnd_bytes == before + MSS_BYTES
+
+    def test_loss_halves_like_reno(self):
+        cca = self.make_in_avoidance(cwnd_seg=20)
+        cca.on_enter_recovery(20 * MSS_BYTES, now_ns=0)
+        assert cca.cwnd_bytes == pytest.approx(10 * MSS_BYTES)
+
+    def test_slow_start_exits_on_gamma(self):
+        cca = Vegas()
+        cca._base_rtt_ns = 100 * MS
+        assert cca.in_slow_start
+        end = cca._epoch_end_seq
+        # Large queueing delay: diff well above gamma.
+        ack(cca, rtt_ns=150 * MS, ack_seq=end, snd_nxt=end + 100_000,
+            now_ns=0)
+        assert not cca.in_slow_start
+
+
+class TestBbrStartup:
+    def test_starts_in_startup_with_high_gain(self):
+        cca = Bbr()
+        assert cca.state is BbrState.STARTUP
+        assert cca.pacing_gain == STARTUP_GAIN
+
+    def test_no_pacing_before_first_estimate(self):
+        assert Bbr().pacing_rate_bps() is None
+
+    def test_filters_track_samples(self):
+        cca = Bbr()
+        ack(cca, rtt_ns=20 * MS, ack_seq=10_000, snd_nxt=50_000,
+            now_ns=0, rate_bps=5e6)
+        assert cca.btlbw_bps == 5e6
+        assert cca.rtprop_ns == 20 * MS
+
+    def test_full_pipe_exits_startup(self):
+        cca = Bbr()
+        seq = 0
+        now = 0
+        # Flat delivery rate over several rounds -> pipe declared full.
+        for round_index in range(6):
+            seq += 50_000
+            now += 20 * MS
+            ack(cca, rtt_ns=20 * MS, ack_seq=seq, snd_nxt=seq + 50_000,
+                now_ns=now, rate_bps=10e6, in_flight=10**9)
+        assert cca.state in (BbrState.DRAIN, BbrState.PROBE_BW)
+
+    def test_drain_transitions_to_probe_bw(self):
+        cca = Bbr()
+        seq, now = 0, 0
+        for _ in range(6):
+            seq += 50_000
+            now += 20 * MS
+            ack(cca, rtt_ns=20 * MS, ack_seq=seq, snd_nxt=seq + 50_000,
+                now_ns=now, rate_bps=10e6, in_flight=10**9)
+        # Low inflight ends DRAIN.
+        ack(cca, rtt_ns=20 * MS, ack_seq=seq + 1000,
+            snd_nxt=seq + 51_000, now_ns=now + MS, rate_bps=10e6,
+            in_flight=0)
+        assert cca.state is BbrState.PROBE_BW
+
+
+class TestBbrSteadyState:
+    def make_probe_bw(self):
+        cca = Bbr()
+        seq, now = 0, 0
+        for _ in range(6):
+            seq += 50_000
+            now += 20 * MS
+            ack(cca, rtt_ns=20 * MS, ack_seq=seq, snd_nxt=seq + 50_000,
+                now_ns=now, rate_bps=10e6, in_flight=10**9)
+        ack(cca, rtt_ns=20 * MS, ack_seq=seq + 1000,
+            snd_nxt=seq + 51_000, now_ns=now + MS, rate_bps=10e6,
+            in_flight=0)
+        return cca, seq + 1000, now + MS
+
+    def test_pacing_rate_follows_btlbw(self):
+        cca, _, _ = self.make_probe_bw()
+        assert cca.pacing_rate_bps() == pytest.approx(
+            cca.pacing_gain * 10e6)
+
+    def test_cwnd_is_two_bdp(self):
+        cca, _, _ = self.make_probe_bw()
+        bdp = 10e6 / 8 * (20 * MS) / 1e9
+        assert cca.cwnd_bytes == pytest.approx(2 * bdp)
+
+    def test_gain_cycle_advances(self):
+        cca, seq, now = self.make_probe_bw()
+        gains = set()
+        for _ in range(20):
+            seq += 10_000
+            now += 25 * MS  # > rtprop each step.
+            ack(cca, rtt_ns=20 * MS, ack_seq=seq, snd_nxt=seq + 10_000,
+                now_ns=now, rate_bps=10e6)
+            gains.add(cca.pacing_gain)
+        assert 1.25 in gains and 0.75 in gains
+
+    def test_ignores_loss_signals(self):
+        cca, _, _ = self.make_probe_bw()
+        before = cca.cwnd_bytes
+        cca.on_enter_recovery(10**6, now_ns=0)
+        cca.on_retransmit_timeout(10**6, now_ns=0)
+        cca.on_ecn(now_ns=0)
+        assert cca.cwnd_bytes == before
+
+    def test_probe_rtt_entered_when_rtprop_stale(self):
+        cca, seq, now = self.make_probe_bw()
+        # 11 seconds with no lower RTT: rtprop expires.
+        now += 11_000 * MS
+        seq += 10_000
+        ack(cca, rtt_ns=25 * MS, ack_seq=seq, snd_nxt=seq + 10_000,
+            now_ns=now, rate_bps=10e6)
+        assert cca.state is BbrState.PROBE_RTT
+        assert cca.cwnd_bytes == PROBE_RTT_CWND_SEGMENTS * MSS_BYTES
+
+    def test_probe_rtt_exits_back_to_probe_bw(self):
+        cca, seq, now = self.make_probe_bw()
+        now += 11_000 * MS
+        seq += 10_000
+        ack(cca, rtt_ns=25 * MS, ack_seq=seq, snd_nxt=seq + 10_000,
+            now_ns=now, rate_bps=10e6)
+        now += 250 * MS
+        seq += 10_000
+        ack(cca, rtt_ns=25 * MS, ack_seq=seq, snd_nxt=seq + 10_000,
+            now_ns=now, rate_bps=10e6)
+        assert cca.state is BbrState.PROBE_BW
+
+    def test_app_limited_samples_do_not_lower_btlbw(self):
+        cca, seq, now = self.make_probe_bw()
+        before = cca.btlbw_bps
+        cca.on_ack(AckContext(acked_bytes=MSS_BYTES, ack_seq=seq + 1,
+                              rtt_ns=20 * MS, now_ns=now + MS,
+                              in_flight_bytes=0, snd_nxt=seq + 2,
+                              delivery_rate_bps=1e6,
+                              is_app_limited=True))
+        assert cca.btlbw_bps == before

@@ -1,0 +1,135 @@
+"""End-to-end properties of the full Cebinae system (paper section 4's
+design principles, validated on live traffic)."""
+
+import pytest
+
+from repro.core.control_plane import cebinae_factory
+from repro.core.params import CebinaeParams
+from repro.fairness.metrics import jain_fairness_index
+from repro.netsim.engine import MILLISECOND, Simulator, seconds
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.tracing import FlowMonitor
+from repro.netsim.topology import build_dumbbell
+from repro.tcp.flows import connect_flow
+
+
+def run_cebinae(ccas, rtts_s, rate_bps=15e6, buffer_mtus=50,
+                duration_s=30.0, tau=0.05, record=False):
+    params = CebinaeParams.for_link(
+        rate_bps, buffer_mtus * 1500,
+        max_rtt_ns=seconds(max(rtts_s)),
+        tau=tau, delta_port=min(2 * tau, 0.16), delta_flow=tau,
+        min_bottom_rate_fraction=0.02)
+    agents = []
+    sim = Simulator()
+    dumbbell = build_dumbbell(
+        [seconds(rtt) for rtt in rtts_s], rate_bps,
+        cebinae_factory(params=params, buffer_mtus=buffer_mtus,
+                        agents=agents, record_history=True),
+        sim=sim)
+    monitor = FlowMonitor(sim)
+    flows = [connect_flow(dumbbell.senders[i], dumbbell.receivers[i],
+                          cca, monitor=monitor, src_port=10_000 + i)
+             for i, cca in enumerate(ccas)]
+    sim.run(until_ns=seconds(duration_s))
+    goodputs = [monitor.goodputs_bps(seconds(duration_s))[f.flow_id]
+                for f in flows]
+    return goodputs, dumbbell, agents[0], flows
+
+
+class TestDesignPrinciples:
+    def test_no_reordering_within_flows(self):
+        """Queue rotations and membership changes must not reorder a
+        flow's packets (section 4.3) — receivers would see spurious
+        dupACKs.  In-order delivery means zero out-of-order bytes
+        whenever no loss occurred; with losses, reordering shows up as
+        fast retransmits that were unnecessary, so we check that total
+        retransmissions stay proportional to actual drops."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno", "newreno"], [0.02, 0.04])
+        queue = dumbbell.bottleneck.queue
+        total_drops = (queue.lbf_drops + queue.buffer_drops
+                       + queue.dropped_packets)
+        total_retransmits = sum(f.sender.retransmits for f in flows)
+        # Every retransmission should be attributable to a drop
+        # somewhere (bottleneck or elsewhere); allow go-back-N
+        # multiplicative slack.
+        assert total_retransmits <= 4 * max(total_drops, 1) + 20
+
+    def test_single_flow_unmolested(self):
+        """One flow alone: saturation triggers, the flow is ⊤, and the
+        tax costs at most ~tau of capacity (example 1)."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno"], [0.03], tau=0.04)
+        assert goodputs[0] > 0.80 * 15e6
+
+    def test_utilization_never_collapses(self):
+        """'Utilization will fluctuate around full capacity but will
+        never decrease by more than tau' — allow slack for TCP
+        dynamics at simulation scale."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno", "cubic", "vegas"], [0.03] * 3, tau=0.04)
+        assert sum(goodputs) > 0.75 * 15e6
+
+    def test_aggressive_flow_taxed_not_starved(self):
+        """Never make unfairness worse: the taxed aggressor must keep
+        a viable share (the min-bottom floor guards the other side)."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["cubic", "vegas", "vegas", "vegas"], [0.04] * 4)
+        assert min(goodputs) > 0.03 * 15e6
+        assert jain_fairness_index(goodputs) > 0.6
+
+    def test_bottleneck_detection_targets_the_heavy_flow(self):
+        """⊤ membership should be dominated by the flow that actually
+        holds the most bandwidth under FIFO conditions."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno", "vegas", "vegas"], [0.05] * 3)
+        saturated = [s for s in agent.history if s.saturated]
+        if not saturated:
+            pytest.skip("port never saturated in this configuration")
+        reno_flow = flows[0].flow_id
+        reno_memberships = sum(1 for s in saturated
+                               if reno_flow in s.top_flows)
+        assert reno_memberships > len(saturated) * 0.3
+
+    def test_two_queue_invariant(self):
+        """The headline hardware claim: exactly two queues, ever."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno", "cubic"], [0.03, 0.03])
+        assert len(dumbbell.bottleneck.queue._queues) == 2
+
+    def test_rotation_cadence(self):
+        """Rotations happen exactly every dT for the whole run."""
+        goodputs, dumbbell, agent, flows = run_cebinae(
+            ["newreno"], [0.03], duration_s=10.0)
+        queue = dumbbell.bottleneck.queue
+        expected = int(seconds(10.0) // queue.params.dt_ns)
+        assert abs(queue.lbf.rotations - expected) <= 1
+
+
+class TestAgainstFifoBaseline:
+    def test_cebinae_improves_vegas_vs_reno(self):
+        """The core comparison at test scale: JFI(Cebinae) must beat
+        JFI(FIFO) when loss-based fights delay-based."""
+        ccas = ["vegas"] * 4 + ["newreno"]
+        rtts = [0.06] * 5
+
+        goodputs_ceb, _, _, _ = run_cebinae(ccas, rtts,
+                                            duration_s=40.0)
+
+        sim = Simulator()
+        dumbbell = build_dumbbell(
+            [seconds(rtt) for rtt in rtts], 15e6,
+            lambda spec: DropTailQueue.from_mtu_count(50), sim=sim)
+        monitor = FlowMonitor(sim)
+        flows = [connect_flow(dumbbell.senders[i],
+                              dumbbell.receivers[i], cca,
+                              monitor=monitor, src_port=10_000 + i)
+                 for i, cca in enumerate(ccas)]
+        sim.run(until_ns=seconds(40.0))
+        goodputs_fifo = [
+            monitor.goodputs_bps(seconds(40.0))[f.flow_id]
+            for f in flows]
+
+        assert jain_fairness_index(goodputs_ceb) > \
+            jain_fairness_index(goodputs_fifo)

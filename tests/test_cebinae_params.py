@@ -1,0 +1,108 @@
+"""Tests for CebinaeParams (Table 1) and its derivation rules."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import CebinaeParams
+from repro.netsim.engine import MICROSECOND, MILLISECOND, SECOND
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        params = CebinaeParams()
+        assert params.delta_port == 0.01
+        assert params.delta_flow == 0.01
+        assert params.tau == 0.01
+
+    def test_vdt_must_be_smaller_than_dt(self):
+        with pytest.raises(ValueError):
+            CebinaeParams(dt_ns=MILLISECOND, vdt_ns=MILLISECOND)
+
+    def test_l_bounded_by_dt_minus_vdt(self):
+        with pytest.raises(ValueError):
+            CebinaeParams(dt_ns=10 * MILLISECOND, vdt_ns=MILLISECOND,
+                          l_ns=10 * MILLISECOND)
+
+    def test_l_at_exact_bound_allowed(self):
+        CebinaeParams(dt_ns=10 * MILLISECOND, vdt_ns=MILLISECOND,
+                      l_ns=9 * MILLISECOND)
+
+    def test_tau_range(self):
+        with pytest.raises(ValueError):
+            CebinaeParams(tau=-0.1)
+        with pytest.raises(ValueError):
+            CebinaeParams(tau=1.5)
+        CebinaeParams(tau=1.0)  # Figure 12 sweeps to 100%.
+
+    def test_p_at_least_one(self):
+        with pytest.raises(ValueError):
+            CebinaeParams(recompute_rounds=0)
+
+    def test_min_bottom_fraction_range(self):
+        with pytest.raises(ValueError):
+            CebinaeParams(min_bottom_rate_fraction=1.0)
+        CebinaeParams(min_bottom_rate_fraction=0.0)
+
+
+class TestEquationTwo:
+    def test_min_dt_formula(self):
+        params = CebinaeParams(dt_ns=SECOND, vdt_ns=MILLISECOND,
+                               l_ns=MILLISECOND)
+        # 125 kB at 10 Mbps drains in 100 ms.
+        expected = 100 * MILLISECOND + 2 * MILLISECOND
+        assert params.min_dt_ns(10e6, 125_000) == expected
+
+    def test_validate_for_link_rejects_small_dt(self):
+        params = CebinaeParams(dt_ns=50 * MILLISECOND,
+                               vdt_ns=MILLISECOND, l_ns=MILLISECOND)
+        with pytest.raises(ValueError):
+            params.validate_for_link(10e6, 125_000)
+
+    def test_validate_for_link_accepts_large_dt(self):
+        params = CebinaeParams(dt_ns=200 * MILLISECOND,
+                               vdt_ns=MILLISECOND, l_ns=MILLISECOND)
+        params.validate_for_link(10e6, 125_000)
+
+
+class TestDerivation:
+    def test_for_link_satisfies_equation_two(self):
+        params = CebinaeParams.for_link(100e6, 500_000)
+        params.validate_for_link(100e6, 500_000)
+
+    def test_dt_is_multiple_of_vdt(self):
+        params = CebinaeParams.for_link(100e6, 500_000)
+        assert params.dt_ns % params.vdt_ns == 0
+
+    def test_p_covers_max_rtt(self):
+        params = CebinaeParams.for_link(100e6, 500_000,
+                                        max_rtt_ns=SECOND)
+        assert params.recompute_interval_ns >= SECOND
+
+    def test_overrides_apply(self):
+        params = CebinaeParams.for_link(100e6, 500_000, tau=0.05)
+        assert params.tau == 0.05
+
+    @given(st.floats(min_value=1e6, max_value=1e10),
+           st.integers(min_value=10_000, max_value=10_000_000))
+    def test_derivation_always_valid(self, rate_bps, buffer_bytes):
+        params = CebinaeParams.for_link(rate_bps, buffer_bytes)
+        params.validate_for_link(rate_bps, buffer_bytes)
+
+
+class TestConvergenceModel:
+    def test_paper_example(self):
+        """Section 3.2 example (2): excess 3/2 at tau=1% needs
+        ln(2/3)/ln(0.99) ~ 40 steps."""
+        params = CebinaeParams(tau=0.01)
+        expected = math.log(2 / 3) / math.log(0.99)
+        assert params.convergence_steps(1.5) == pytest.approx(expected)
+
+    def test_higher_tax_converges_faster(self):
+        slow = CebinaeParams(tau=0.01).convergence_steps(2.0)
+        fast = CebinaeParams(tau=0.05).convergence_steps(2.0)
+        assert fast < slow
+
+    def test_zero_tax_never_converges(self):
+        assert CebinaeParams(tau=0.0).convergence_steps(2.0) == math.inf

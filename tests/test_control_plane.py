@@ -1,0 +1,171 @@
+"""Tests for the control-plane agent (Figure 4 / Figure 6 timing)."""
+
+import pytest
+
+from repro.core.control_plane import CebinaeControlPlane, cebinae_factory
+from repro.core.lbf import FlowGroup
+from repro.core.params import CebinaeParams
+from repro.core.queue_disc import CebinaeQueueDisc
+from repro.netsim.engine import MILLISECOND, SECOND, Simulator
+from repro.netsim.packet import FlowId, Packet
+from repro.netsim.topology import PortSpec
+
+
+def make_system(rate_bps=8e6, buffer_bytes=90_000, dt_ms=100,
+                recompute_rounds=1, tau=0.1, delta_port=0.05,
+                min_bottom=0.0):
+    sim = Simulator()
+    params = CebinaeParams(dt_ns=dt_ms * MILLISECOND,
+                           vdt_ns=MILLISECOND, l_ns=MILLISECOND,
+                           recompute_rounds=recompute_rounds, tau=tau,
+                           delta_port=delta_port,
+                           delta_flow=0.05, use_exact_cache=True,
+                           min_bottom_rate_fraction=min_bottom)
+    qdisc = CebinaeQueueDisc(sim, params, rate_bps, buffer_bytes)
+    agent = CebinaeControlPlane(sim, qdisc, record_history=True)
+    return sim, qdisc, agent
+
+
+def flow(port):
+    return FlowId(1, 2, port, 80)
+
+
+def transmit(qdisc, port, nbytes):
+    """Simulate egress of nbytes for a flow (in MTU chunks)."""
+    while nbytes > 0:
+        chunk = min(nbytes, 1500)
+        qdisc.on_transmit(Packet(flow=flow(port), size_bytes=chunk))
+        nbytes -= chunk
+
+
+class TestRoundLoop:
+    def test_rotations_every_dt(self):
+        sim, qdisc, agent = make_system(dt_ms=100)
+        sim.run(until_ns=SECOND)
+        assert qdisc.lbf.rotations == 10
+
+    def test_config_applied_after_deadline(self):
+        """Rate changes become visible exactly at t0 + vdT + L."""
+        sim, qdisc, agent = make_system(dt_ms=100)
+        # Preload egress counters so the first recompute sees
+        # saturation with flow 1 dominating.
+        transmit(qdisc, 1, 90_000)
+        transmit(qdisc, 2, 10_000)
+        # Run just past the first rotation but before the deadline.
+        sim.run(until_ns=100 * MILLISECOND + MILLISECOND)
+        assert qdisc.top_flows == set()
+        # Past the deadline the membership change is visible.
+        sim.run(until_ns=100 * MILLISECOND + 3 * MILLISECOND)
+        assert flow(1) in qdisc.top_flows
+
+    def test_recompute_every_p_rounds(self):
+        sim, qdisc, agent = make_system(dt_ms=100, recompute_rounds=3)
+        sim.run(until_ns=SECOND)
+        assert agent.recomputations == 3
+
+
+class TestSaturationDetection:
+    def test_idle_port_stays_unsaturated(self):
+        sim, qdisc, agent = make_system()
+        sim.run(until_ns=SECOND)
+        assert not qdisc.saturated
+        assert all(not s.saturated for s in agent.history)
+
+    def test_full_port_becomes_saturated(self):
+        sim, qdisc, agent = make_system(dt_ms=100)
+        # 1 MB/s capacity: transmit 100 kB per 100 ms round.
+        def feed():
+            transmit(qdisc, 1, 60_000)
+            transmit(qdisc, 2, 40_000)
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        assert qdisc.saturated
+
+    def test_partial_utilization_below_threshold(self):
+        sim, qdisc, agent = make_system(delta_port=0.05)
+        def feed():
+            transmit(qdisc, 1, 90_000)  # 90% utilisation < 95%.
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        assert not qdisc.saturated
+
+    def test_desaturation_releases_limits(self):
+        sim, qdisc, agent = make_system()
+        def feed():
+            if sim.now_ns < 500 * MILLISECOND:
+                transmit(qdisc, 1, 99_000)
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        assert not qdisc.saturated
+        assert qdisc.top_flows == set()
+        capacity = qdisc.rate_bps / 8
+        for queue_index in (0, 1):
+            assert qdisc.lbf.rates[queue_index][FlowGroup.TOP] == \
+                capacity
+
+
+class TestTaxation:
+    def test_top_flow_taxed_by_tau(self):
+        sim, qdisc, agent = make_system(dt_ms=100, tau=0.1)
+        def feed():
+            transmit(qdisc, 1, 80_000)
+            transmit(qdisc, 2, 20_000)
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        saturated = [s for s in agent.history if s.saturated]
+        assert saturated
+        last = saturated[-1]
+        assert last.top_flows == {flow(1)}
+        # Measured 800 kB/s for flow 1, taxed by 10%.
+        assert last.top_rate_bytes_per_sec == pytest.approx(
+            800_000 * 0.9, rel=0.05)
+        # The freed capacity goes to the bottom group.
+        assert last.bottom_rate_bytes_per_sec == pytest.approx(
+            1_000_000 - 800_000 * 0.9, rel=0.05)
+
+    def test_similar_flows_grouped_within_delta_f(self):
+        sim, qdisc, agent = make_system(dt_ms=100)
+        def feed():
+            transmit(qdisc, 1, 49_000)
+            transmit(qdisc, 2, 48_500)  # Within 5% of flow 1.
+            transmit(qdisc, 3, 2_500)
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        last = [s for s in agent.history if s.saturated][-1]
+        assert last.top_flows == {flow(1), flow(2)}
+
+    def test_bottom_rate_floor_applies(self):
+        sim, qdisc, agent = make_system(tau=0.01, min_bottom=0.1)
+        def feed():
+            transmit(qdisc, 1, 100_000)  # One flow hogs everything.
+            sim.schedule(100 * MILLISECOND, feed)
+        feed()
+        sim.run(until_ns=SECOND)
+        last = [s for s in agent.history if s.saturated][-1]
+        assert last.bottom_rate_bytes_per_sec >= 100_000  # 10% of 1MB/s
+
+
+class TestFactory:
+    def test_factory_builds_and_registers(self):
+        sim = Simulator()
+        agents = []
+        factory = cebinae_factory(buffer_mtus=60, agents=agents,
+                                  record_history=True)
+        spec = PortSpec(sim=sim, rate_bps=8e6, delay_ns=0, name="p0")
+        qdisc = factory(spec)
+        assert isinstance(qdisc, CebinaeQueueDisc)
+        assert len(agents) == 1
+        sim.run(until_ns=SECOND)
+        assert qdisc.lbf.rotations > 0
+
+    def test_factory_derives_valid_params(self):
+        sim = Simulator()
+        factory = cebinae_factory(buffer_mtus=850)
+        spec = PortSpec(sim=sim, rate_bps=100e6, delay_ns=0, name="p0")
+        qdisc = factory(spec)
+        qdisc.params.validate_for_link(100e6, 850 * 1500)

@@ -1,0 +1,96 @@
+"""Tests for the fluid convergence model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairness.convergence import (ConvergenceTrace,
+                                        geometric_convergence_steps,
+                                        taxation_trajectory)
+from repro.fairness.metrics import jain_fairness_index
+
+
+class TestGeometricModel:
+    def test_paper_example_two(self):
+        """ln(2/3)/ln(0.99) ~ 40 steps for excess 3/2 at tau 1%."""
+        steps = geometric_convergence_steps(1.5, 0.01)
+        assert steps == pytest.approx(
+            math.log(2 / 3) / math.log(0.99))
+        assert 40 < steps < 41
+
+    def test_no_excess_is_instant(self):
+        assert geometric_convergence_steps(1.0, 0.01) == 0.0
+
+    def test_zero_tax_never(self):
+        assert geometric_convergence_steps(2.0, 0.0) == math.inf
+
+    def test_full_tax_one_step(self):
+        assert geometric_convergence_steps(2.0, 1.0) == 1.0
+
+    def test_monotone_in_tau(self):
+        taus = [0.01, 0.02, 0.05, 0.1]
+        steps = [geometric_convergence_steps(2.0, tau) for tau in taus]
+        assert steps == sorted(steps, reverse=True)
+
+
+class TestTrajectory:
+    def test_strawman_example_converges(self):
+        """Figure 2a's {6,1,1,1,1} allocation converges to equality."""
+        trace = taxation_trajectory([6, 1, 1, 1, 1], capacity=10,
+                                    tau=0.01, steps=800)
+        final = trace.rates_per_step[-1]
+        assert jain_fairness_index(final) > 0.99
+        assert sum(final) == pytest.approx(10, rel=0.02)
+
+    def test_already_fair_stays_fair(self):
+        trace = taxation_trajectory([2, 2, 2, 2, 2], capacity=10,
+                                    tau=0.01, steps=100)
+        assert min(trace.jfi_series()) > 0.999
+
+    def test_higher_tau_converges_faster(self):
+        slow = taxation_trajectory([8, 1, 1], capacity=10, tau=0.01,
+                                   steps=1000).convergence_step()
+        fast = taxation_trajectory([8, 1, 1], capacity=10, tau=0.05,
+                                   steps=1000).convergence_step()
+        assert fast < slow
+
+    def test_convergence_roughly_matches_geometric_model(self):
+        """The trajectory's convergence time has the model's order of
+        magnitude (the model ignores the growing denominator, so exact
+        equality is not expected)."""
+        tau = 0.02
+        trace = taxation_trajectory([3, 1], capacity=4, tau=tau,
+                                    steps=2000)
+        measured = trace.convergence_step(tolerance=0.02)
+        model = geometric_convergence_steps(1.5, tau)
+        assert 0.3 * model < measured < 6 * model
+
+    def test_slow_growth_slows_convergence(self):
+        fast = taxation_trajectory([8, 1, 1], capacity=10, tau=0.02,
+                                   growth_fraction=1.0,
+                                   steps=2000).convergence_step()
+        slow = taxation_trajectory([8, 1, 1], capacity=10, tau=0.02,
+                                   growth_fraction=0.1,
+                                   steps=2000).convergence_step()
+        assert slow >= fast
+
+    def test_capacity_never_exceeded(self):
+        trace = taxation_trajectory([20, 1], capacity=10, tau=0.05,
+                                    steps=50)
+        for rates in trace.rates_per_step[1:]:
+            assert sum(rates) <= 10 * (1 + 1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            taxation_trajectory([], capacity=10)
+        with pytest.raises(ValueError):
+            taxation_trajectory([1.0], capacity=0)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
+           st.floats(0.005, 0.1))
+    @settings(max_examples=40)
+    def test_jfi_converges_for_any_start(self, rates, tau):
+        trace = taxation_trajectory(rates, capacity=sum(rates) or 1.0,
+                                    tau=tau, steps=3000)
+        assert trace.jfi_series()[-1] > 0.95

@@ -1,0 +1,170 @@
+"""Tests for the experiment harness: specs, scaling policy, runner."""
+
+import pytest
+
+from repro.core.params import CebinaeParams
+from repro.experiments.runner import (Discipline, queue_factory_for,
+                                      run_comparison, run_scenario)
+from repro.experiments.scenarios import (MIN_SEGMENTS_PER_RTT,
+                                         ScalePolicy, ScenarioSpec)
+from repro.experiments.table2 import TABLE2_ROWS
+
+
+class TestScenarioSpec:
+    def test_flow_expansion_groupwise_rtts(self):
+        spec = ScenarioSpec(name="t", rate_bps=1e8, rtts_ms=(20, 40),
+                            buffer_mtus=100,
+                            cca_mix=(("newreno", 2), ("cubic", 1)))
+        plans = spec.flow_plans()
+        assert [plan.cca for plan in plans] == ["newreno", "newreno",
+                                                "cubic"]
+        assert [plan.rtt_s for plan in plans] == [0.02, 0.02, 0.04]
+
+    def test_single_rtt_applies_to_all_groups(self):
+        spec = ScenarioSpec(name="t", rate_bps=1e8, rtts_ms=(50,),
+                            buffer_mtus=100,
+                            cca_mix=(("vegas", 1), ("bbr", 1)))
+        assert [plan.rtt_s for plan in spec.flow_plans()] == [.05, .05]
+
+    def test_mismatched_rtts_rejected(self):
+        spec = ScenarioSpec(name="t", rate_bps=1e8, rtts_ms=(1, 2, 3),
+                            buffer_mtus=100,
+                            cca_mix=(("vegas", 1), ("bbr", 1)))
+        with pytest.raises(ValueError):
+            spec.flow_plans()
+
+    def test_start_times_per_flow(self):
+        spec = ScenarioSpec(name="t", rate_bps=1e8, rtts_ms=(50,),
+                            buffer_mtus=100,
+                            cca_mix=(("vegas", 2), ("cubic", 1)),
+                            start_times_s=(0.0, 0.0, 5.0))
+        assert [plan.start_time_s for plan in spec.flow_plans()] == \
+            [0.0, 0.0, 5.0]
+
+
+class TestScalePolicy:
+    def test_small_mix_not_scaled(self):
+        policy = ScalePolicy(max_flows=40)
+        mix, factor = policy.scale_mix((("newreno", 16), ("cubic", 1)))
+        assert mix == (("newreno", 16), ("cubic", 1))
+        assert factor == 1.0
+
+    def test_large_mix_scaled_preserving_minority(self):
+        policy = ScalePolicy(max_flows=40)
+        mix, factor = policy.scale_mix((("vegas", 1024), ("cubic", 2)))
+        counts = dict(mix)
+        assert counts["cubic"] >= 1
+        assert sum(counts.values()) <= 45
+        assert factor > 10
+
+    def test_tau_scales_with_rate_and_caps(self):
+        policy = ScalePolicy()
+        assert policy.scaled_threshold(0.01, 4.0, 0.10) == \
+            pytest.approx(0.04)
+        assert policy.scaled_threshold(0.01, 40.0, 0.10) == 0.10
+        assert policy.scaled_threshold(0.01, 0.5, 0.10) == 0.01
+
+    def test_sim_rate_gives_viable_fair_share(self):
+        policy = ScalePolicy(target_rate_bps=25e6, max_rate_bps=60e6)
+        spec = ScenarioSpec(name="t", rate_bps=1e9, rtts_ms=(50,),
+                            buffer_mtus=1000, cca_mix=(("newreno", 30),))
+        rate = policy.sim_rate(spec, 30)
+        per_flow = rate / 30
+        min_rate = MIN_SEGMENTS_PER_RTT * 1448 * 8 / 0.05
+        assert per_flow >= min_rate * 0.99 or rate == 60e6
+
+    def test_apply_produces_valid_cebinae_params(self):
+        policy = ScalePolicy()
+        for row in TABLE2_ROWS:
+            scaled = policy.apply(row.spec)
+            buffer_bytes = scaled.spec.buffer_mtus * 1500
+            scaled.cebinae.validate_for_link(scaled.spec.rate_bps,
+                                             buffer_bytes)
+
+    def test_apply_preserves_duration_override(self):
+        policy = ScalePolicy()
+        scaled = policy.apply(TABLE2_ROWS[0].spec, duration_s=5.0)
+        assert scaled.spec.duration_s == 5.0
+
+    def test_recompute_window_covers_rtt(self):
+        policy = ScalePolicy()
+        spec = ScenarioSpec(name="t", rate_bps=1e8, rtts_ms=(400,),
+                            buffer_mtus=100, cca_mix=(("newreno", 2),))
+        scaled = policy.apply(spec)
+        assert scaled.cebinae.recompute_interval_ns >= 400 * 1_000_000
+
+
+class TestTable2Rows:
+    def test_row_count_matches_paper(self):
+        assert len(TABLE2_ROWS) == 25
+
+    def test_rates_cover_all_classes(self):
+        rates = {row.spec.rate_bps for row in TABLE2_ROWS}
+        assert rates == {100e6, 1000e6, 10000e6}
+
+    def test_paper_numbers_are_sane(self):
+        for row in TABLE2_ROWS:
+            for numbers in (row.fifo, row.fq, row.cebinae):
+                assert 0 < numbers.jfi <= 1
+                assert 0 < numbers.goodput_mbps <= \
+                    numbers.throughput_mbps
+
+    def test_all_ccas_known(self):
+        from repro.tcp.flows import CCA_REGISTRY
+        for row in TABLE2_ROWS:
+            for cca, _ in row.spec.cca_mix:
+                assert cca in CCA_REGISTRY
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tiny_scaled(self):
+        policy = ScalePolicy(target_rate_bps=10e6, max_rate_bps=10e6)
+        spec = ScenarioSpec(name="tiny", rate_bps=100e6,
+                            rtts_ms=(20, 30), buffer_mtus=100,
+                            cca_mix=(("newreno", 1), ("newreno", 1)),
+                            duration_s=5.0)
+        return policy.apply(spec)
+
+    def test_fifo_run_produces_metrics(self, tiny_scaled):
+        result = run_scenario(tiny_scaled, Discipline.FIFO)
+        assert len(result.goodputs_bps) == 2
+        assert result.total_goodput_bps > 0.5 * 10e6
+        assert 0 < result.jfi <= 1
+        assert result.throughput_bps >= result.total_goodput_bps
+
+    def test_series_collection(self, tiny_scaled):
+        result = run_scenario(tiny_scaled, Discipline.FIFO,
+                              collect_series=True)
+        assert len(result.goodput_series_bps) == 2
+        assert len(result.goodput_series_bps[0]) == 5
+
+    def test_cebinae_run_records_history(self, tiny_scaled):
+        result = run_scenario(tiny_scaled, Discipline.CEBINAE,
+                              record_history=True)
+        assert result.cp_history is not None
+        assert len(result.cp_history) > 0
+
+    def test_comparison_runs_all_disciplines(self, tiny_scaled):
+        results = run_comparison(tiny_scaled)
+        assert set(results) == {Discipline.FIFO, Discipline.FQ,
+                                Discipline.CEBINAE}
+
+    def test_factory_types(self, tiny_scaled):
+        from repro.core.queue_disc import CebinaeQueueDisc
+        from repro.netsim.fq_codel import FqCoDelQueue
+        from repro.netsim.queues import DropTailQueue
+        from repro.netsim.topology import PortSpec
+        from repro.netsim.engine import Simulator
+        spec = PortSpec(sim=Simulator(),
+                        rate_bps=tiny_scaled.spec.rate_bps,
+                        delay_ns=0, name="p")
+        assert isinstance(queue_factory_for(Discipline.FIFO,
+                                            tiny_scaled)(spec),
+                          DropTailQueue)
+        assert isinstance(queue_factory_for(Discipline.FQ,
+                                            tiny_scaled)(spec),
+                          FqCoDelQueue)
+        assert isinstance(queue_factory_for(Discipline.CEBINAE,
+                                            tiny_scaled)(spec),
+                          CebinaeQueueDisc)

@@ -1,0 +1,229 @@
+"""Tests for water-filling max-min allocation and fairness metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairness.maxmin import (FlowSpec, is_maxmin_fair,
+                                   verify_maxmin, water_filling)
+from repro.fairness.metrics import (jain_fairness_index, jfi_time_series,
+                                    normalized_jfi)
+
+
+class TestWaterFillingBasics:
+    def test_single_link_equal_split(self):
+        flows = [FlowSpec(i, ("l1",)) for i in range(4)]
+        allocation = water_filling({"l1": 100.0}, flows)
+        for i in range(4):
+            assert allocation[i] == pytest.approx(25.0)
+
+    def test_demand_limited_flow_releases_capacity(self):
+        flows = [FlowSpec("small", ("l1",), demand=10.0),
+                 FlowSpec("big", ("l1",))]
+        allocation = water_filling({"l1": 100.0}, flows)
+        assert allocation["small"] == pytest.approx(10.0)
+        assert allocation["big"] == pytest.approx(90.0)
+
+    def test_all_demands_satisfiable(self):
+        flows = [FlowSpec("a", ("l1",), demand=10.0),
+                 FlowSpec("b", ("l1",), demand=20.0)]
+        allocation = water_filling({"l1": 100.0}, flows)
+        assert allocation["a"] == pytest.approx(10.0)
+        assert allocation["b"] == pytest.approx(20.0)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            water_filling({"l1": 1.0}, [FlowSpec("a", ("nope",))])
+
+    def test_duplicate_flow_ids_rejected(self):
+        with pytest.raises(ValueError):
+            water_filling({"l1": 1.0}, [FlowSpec("a", ("l1",)),
+                                        FlowSpec("a", ("l1",))])
+
+    def test_infinite_unconstrained_rejected(self):
+        with pytest.raises(ValueError):
+            water_filling({"l1": math.inf},
+                          [FlowSpec("a", ("l1",))])
+
+
+class TestPaperExamples:
+    def test_figure2a_fair_shares(self):
+        """Figure 2a: five flows on a single bottleneck should each get
+        a fifth regardless of aggressiveness."""
+        flows = [FlowSpec(chr(ord("A") + i), ("l",)) for i in range(5)]
+        allocation = water_filling({"l": 10.0}, flows)
+        for flow in flows:
+            assert allocation[flow.flow_id] == pytest.approx(2.0)
+
+    def test_figure2b_multi_bottleneck(self):
+        """Figure 2b: A spans l1/l3, B spans l1/l2(10), C spans l2/l5(2).
+
+        Max-min: C is bottlenecked by l5 at 2; B by l2 at 10-2=8; A by
+        l1 at 20-8=12 (l3 has 20).
+        """
+        capacities = {"l1": 20.0, "l2": 10.0, "l3": 20.0, "l4": 20.0,
+                      "l5": 2.0}
+        flows = [FlowSpec("A", ("l1", "l3")),
+                 FlowSpec("B", ("l1", "l2")),
+                 FlowSpec("C", ("l2", "l5"))]
+        allocation = water_filling(capacities, flows)
+        assert allocation["C"] == pytest.approx(2.0)
+        assert allocation["B"] == pytest.approx(8.0)
+        assert allocation["A"] == pytest.approx(12.0)
+
+    def test_parking_lot_allocation(self):
+        """Figure 11's topology: 8 long flows over 3 links vs 2/8/4
+        cross flows."""
+        capacities = {0: 100.0, 1: 100.0, 2: 100.0}
+        flows = [FlowSpec(f"long{i}", (0, 1, 2)) for i in range(8)]
+        flows += [FlowSpec(f"bic{i}", (0,)) for i in range(2)]
+        flows += [FlowSpec(f"vegas{i}", (1,)) for i in range(8)]
+        flows += [FlowSpec(f"cubic{i}", (2,)) for i in range(4)]
+        allocation = water_filling(capacities, flows)
+        # Link 1 carries 16 flows: the tightest constraint.
+        assert allocation["long0"] == pytest.approx(100 / 16)
+        assert allocation["vegas0"] == pytest.approx(100 / 16)
+        # Bic flows split what the long flows leave on link 0.
+        assert allocation["bic0"] == pytest.approx(
+            (100 - 8 * 100 / 16) / 2)
+        assert allocation["cubic0"] == pytest.approx(
+            (100 - 8 * 100 / 16) / 4)
+
+
+class TestDefinitionTwo:
+    def test_maxmin_allocation_verifies(self):
+        capacities = {"l1": 20.0, "l2": 10.0, "l5": 2.0}
+        flows = [FlowSpec("A", ("l1",)), FlowSpec("B", ("l1", "l2")),
+                 FlowSpec("C", ("l2", "l5"))]
+        allocation = water_filling(capacities, flows)
+        assert is_maxmin_fair(capacities, flows, allocation)
+
+    def test_unfair_allocation_fails_verification(self):
+        capacities = {"l1": 10.0}
+        flows = [FlowSpec("a", ("l1",)), FlowSpec("b", ("l1",))]
+        unfair = {"a": 8.0, "b": 1.0}
+        # Link unsaturated (9 < 10): no flow has a bottleneck.
+        assert not is_maxmin_fair(capacities, flows, unfair)
+
+    def test_saturated_but_not_maximal_fails(self):
+        capacities = {"l1": 10.0}
+        flows = [FlowSpec("a", ("l1",)), FlowSpec("b", ("l1",))]
+        unfair = {"a": 9.0, "b": 1.0}
+        checks = {c.flow_id: c for c in
+                  verify_maxmin(capacities, flows, unfair)}
+        assert checks["a"].has_bottleneck      # Saturated and maximal.
+        assert not checks["b"].has_bottleneck  # Saturated, not maximal.
+
+    def test_satiated_flow_needs_no_bottleneck(self):
+        capacities = {"l1": 10.0}
+        flows = [FlowSpec("a", ("l1",), demand=2.0),
+                 FlowSpec("b", ("l1",))]
+        allocation = water_filling(capacities, flows)
+        assert is_maxmin_fair(capacities, flows, allocation)
+
+
+class TestWaterFillingProperties:
+    @st.composite
+    def random_network(draw):
+        num_links = draw(st.integers(1, 5))
+        capacities = {i: draw(st.floats(1.0, 100.0))
+                      for i in range(num_links)}
+        num_flows = draw(st.integers(1, 8))
+        flows = []
+        for i in range(num_flows):
+            size = draw(st.integers(1, num_links))
+            path = tuple(draw(st.permutations(range(num_links)))[:size])
+            flows.append(FlowSpec(i, path))
+        return capacities, flows
+
+    @given(random_network())
+    @settings(max_examples=80)
+    def test_capacity_constraints_respected(self, network):
+        capacities, flows = network
+        allocation = water_filling(capacities, flows)
+        load = {link: 0.0 for link in capacities}
+        for flow in flows:
+            assert allocation[flow.flow_id] >= 0
+            for link in flow.path:
+                load[link] += allocation[flow.flow_id]
+        for link, used in load.items():
+            assert used <= capacities[link] * (1 + 1e-6)
+
+    @given(random_network())
+    @settings(max_examples=80)
+    def test_definition2_holds_for_waterfilling(self, network):
+        capacities, flows = network
+        allocation = water_filling(capacities, flows)
+        assert is_maxmin_fair(capacities, flows, allocation,
+                              tolerance=1e-5)
+
+
+class TestJfi:
+    def test_equal_rates_give_one(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_gives_one_over_n(self):
+        assert jain_fairness_index([10.0, 0, 0, 0]) == \
+            pytest.approx(0.25)
+
+    def test_paper_ratio_example(self):
+        # 80/20 split between 2 flows: (1)^2/(2*(0.64+0.04))... known
+        # value (0.8+0.2)^2 / (2*(0.64+0.04)) = 1/1.36.
+        assert jain_fairness_index([0.8, 0.2]) == \
+            pytest.approx(1 / 1.36)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=100))
+    def test_bounds(self, rates):
+        value = jain_fairness_index(rates)
+        assert 1 / len(rates) - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50),
+           st.floats(0.1, 10.0))
+    def test_scale_invariance(self, rates, scale):
+        original = jain_fairness_index(rates)
+        scaled = jain_fairness_index([r * scale for r in rates])
+        assert scaled == pytest.approx(original, rel=1e-6)
+
+
+class TestNormalizedJfi:
+    def test_ideal_allocation_scores_one(self):
+        ideal = {"a": 10.0, "b": 2.0}
+        assert normalized_jfi(dict(ideal), ideal) == pytest.approx(1.0)
+
+    def test_uniform_allocation_penalised_under_skewed_ideal(self):
+        ideal = {"a": 10.0, "b": 2.0}
+        uniform = {"a": 6.0, "b": 6.0}
+        assert normalized_jfi(uniform, ideal) < 1.0
+
+    def test_mismatched_flows_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_jfi({"a": 1.0}, {"b": 1.0})
+
+    def test_nonpositive_ideal_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_jfi({"a": 1.0}, {"a": 0.0})
+
+
+class TestJfiTimeSeries:
+    def test_series_shape(self):
+        series = jfi_time_series({"a": [1.0, 1.0], "b": [1.0, 3.0]})
+        assert len(series) == 2
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] < 1.0
+
+    def test_flows_excluded_before_join(self):
+        series = jfi_time_series({"a": [1.0, 1.0], "b": [0.0, 1.0]},
+                                 active_from_bin={"a": 0, "b": 1})
+        assert series[0] == pytest.approx(1.0)  # Only flow a counted.
+        assert series[1] == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert jfi_time_series({}) == []

@@ -1,0 +1,179 @@
+"""Tests for the FQ-CoDel baseline (DRR scheduler + CoDel AQM)."""
+
+import pytest
+
+from repro.netsim.engine import MILLISECOND, Simulator
+from repro.netsim.fq_codel import (CODEL_INTERVAL_NS, CODEL_TARGET_NS,
+                                   CoDelState, FqCoDelQueue, control_law)
+from repro.netsim.packet import FlowId, Packet
+
+
+def make_packet(flow_port, size=1000):
+    return Packet(flow=FlowId(1, 2, flow_port, 80), size_bytes=size)
+
+
+class TestControlLaw:
+    def test_first_drop_interval(self):
+        assert control_law(0, CODEL_INTERVAL_NS, 1) == CODEL_INTERVAL_NS
+
+    def test_interval_shrinks_with_sqrt_count(self):
+        t4 = control_law(0, CODEL_INTERVAL_NS, 4)
+        assert t4 == CODEL_INTERVAL_NS // 2
+
+
+class TestCoDelState:
+    def test_below_target_is_ok(self):
+        state = CoDelState()
+        assert state.sojourn_ok(CODEL_TARGET_NS - 1, now_ns=0,
+                                backlog_bytes=10_000)
+
+    def test_small_backlog_is_always_ok(self):
+        state = CoDelState()
+        assert state.sojourn_ok(10 * CODEL_TARGET_NS, now_ns=0,
+                                backlog_bytes=1000)
+
+    def test_sustained_excess_trips_after_interval(self):
+        state = CoDelState()
+        assert state.sojourn_ok(2 * CODEL_TARGET_NS, now_ns=0,
+                                backlog_bytes=10_000)
+        assert not state.sojourn_ok(2 * CODEL_TARGET_NS,
+                                    now_ns=CODEL_INTERVAL_NS + 1,
+                                    backlog_bytes=10_000)
+
+    def test_dip_below_target_resets(self):
+        state = CoDelState()
+        state.sojourn_ok(2 * CODEL_TARGET_NS, 0, 10_000)
+        state.sojourn_ok(CODEL_TARGET_NS // 2,
+                         CODEL_INTERVAL_NS // 2, 10_000)
+        # The window restarts: no drop right after the dip.
+        assert state.sojourn_ok(2 * CODEL_TARGET_NS,
+                                CODEL_INTERVAL_NS + 1, 10_000)
+
+
+class TestFqScheduling:
+    def test_single_flow_fifo_order(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)
+        packets = [make_packet(1, size=100 * (i + 1)) for i in range(4)]
+        for packet in packets:
+            queue.enqueue(packet)
+        assert [queue.dequeue() for _ in range(4)] == packets
+
+    def test_round_robin_between_flows(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, quantum_bytes=1000)
+        for _ in range(3):
+            queue.enqueue(make_packet(1, size=1000))
+            queue.enqueue(make_packet(2, size=1000))
+        ports = [queue.dequeue().flow.src_port for _ in range(6)]
+        # Each flow gets one quantum turn at a time.
+        assert sorted(ports[:2]) == [1, 2]
+        assert sorted(ports) == [1, 1, 1, 2, 2, 2]
+
+    def test_drr_favours_small_packets_equally_by_bytes(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, quantum_bytes=1000)
+        # Flow 1 sends 1000-byte packets; flow 2 sends 500-byte packets.
+        for _ in range(4):
+            queue.enqueue(make_packet(1, size=1000))
+        for _ in range(8):
+            queue.enqueue(make_packet(2, size=500))
+        taken = [queue.dequeue() for _ in range(12)]
+        bytes_by_flow = {1: 0, 2: 0}
+        for packet in taken[:6]:  # First half of the drain.
+            bytes_by_flow[packet.flow.src_port] += packet.size_bytes
+        # Byte-fair: roughly equal bytes served to both flows.
+        assert abs(bytes_by_flow[1] - bytes_by_flow[2]) <= 1000
+
+    def test_new_flow_gets_priority(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, quantum_bytes=1000)
+        for _ in range(5):
+            queue.enqueue(make_packet(1, size=1000))
+        queue.dequeue()  # Flow 1's quantum is spent.
+        queue.enqueue(make_packet(2, size=1000))
+        # At the next dequeue flow 1 rotates to the old list and the
+        # newly arrived flow 2 is served first (RFC 8290 new-flow
+        # priority).
+        assert queue.dequeue().flow.src_port == 2
+        assert queue.dequeue().flow.src_port == 1
+
+    def test_empty_dequeue_returns_none(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)
+        assert queue.dequeue() is None
+
+    def test_len_and_bytes_track(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)
+        queue.enqueue(make_packet(1, size=700))
+        queue.enqueue(make_packet(2, size=300))
+        assert len(queue) == 2
+        assert queue.byte_length == 1000
+        queue.dequeue()
+        assert len(queue) == 1
+
+
+class TestOverlimit:
+    def test_drop_from_fattest_queue(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, limit_packets=4)
+        for _ in range(4):
+            queue.enqueue(make_packet(1, size=1500))
+        queue.enqueue(make_packet(2, size=100))
+        # The fat flow (1) loses a packet; the thin flow's stays.
+        assert queue.overlimit_drops == 1
+        assert len(queue) == 4
+        remaining_ports = []
+        while True:
+            packet = queue.dequeue()
+            if packet is None:
+                break
+            remaining_ports.append(packet.flow.src_port)
+        assert 2 in remaining_ports
+        assert remaining_ports.count(1) == 3
+
+
+class TestCoDelDropping:
+    def test_standing_queue_gets_dropped(self):
+        """A queue drained slower than it fills develops a standing
+        queue; CoDel must start dropping after one interval."""
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)
+        for _ in range(100):
+            queue.enqueue(make_packet(1, size=1500))
+        drained = []
+
+        def drain():
+            packet = queue.dequeue()
+            if packet is not None:
+                drained.append(packet)
+                sim.schedule(10 * MILLISECOND, drain)
+
+        sim.schedule(10 * MILLISECOND, drain)
+        sim.run()
+        assert queue.codel_drops >= 1
+        assert len(drained) + queue.codel_drops == 100
+
+    def test_fresh_packets_not_dropped(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)
+        for _ in range(5):
+            queue.enqueue(make_packet(1))
+        drained = sum(1 for _ in range(5)
+                      if queue.dequeue() is not None)
+        assert drained == 5
+        assert queue.codel_drops == 0
+
+
+class TestHashedQueues:
+    def test_num_queues_causes_collisions(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, num_queues=1)
+        queue.enqueue(make_packet(1))
+        queue.enqueue(make_packet(2))
+        # Both flows share the single bucket: strict FIFO between them.
+        first = queue.dequeue()
+        second = queue.dequeue()
+        assert {first.flow.src_port, second.flow.src_port} == {1, 2}
+        assert len(queue._queues) == 1

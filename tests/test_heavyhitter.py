@@ -1,0 +1,209 @@
+"""Tests for the passive flow cache, trace generator, and FPR/FNR
+evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heavyhitter.evaluation import evaluate_detection
+from repro.heavyhitter.hashpipe import (CebinaeFlowCache, ExactFlowCache,
+                                        select_bottlenecked, stage_hash)
+from repro.heavyhitter.traces import SyntheticTrace
+
+
+class TestStageHash:
+    def test_deterministic(self):
+        assert stage_hash(("a", 1), 7) == stage_hash(("a", 1), 7)
+
+    def test_salt_changes_hash(self):
+        key = ("flow", 42)
+        assert stage_hash(key, 1) != stage_hash(key, 2)
+
+
+class TestCacheCounting:
+    def test_single_flow_exact(self):
+        cache = CebinaeFlowCache(stages=2, slots_per_stage=16)
+        cache.update("f1", 1000)
+        cache.update("f1", 500)
+        assert cache.lookup("f1") == 1500
+
+    def test_lookup_untracked_is_zero(self):
+        cache = CebinaeFlowCache()
+        assert cache.lookup("nope") == 0
+
+    def test_never_overcounts(self):
+        """Counts are at most the true bytes (no collision pollution) —
+        the 'never make unfairness worse' invariant."""
+        cache = CebinaeFlowCache(stages=1, slots_per_stage=2)
+        truth = {}
+        for index in range(50):
+            key = f"flow{index % 10}"
+            cache.update(key, 100)
+            truth[key] = truth.get(key, 0) + 100
+        for key, counted in cache.snapshot().items():
+            assert counted <= truth[key]
+
+    def test_full_stages_spill_to_next(self):
+        cache = CebinaeFlowCache(stages=2, slots_per_stage=1)
+        # With one slot per stage, at most two flows can be tracked.
+        keys = ["a", "b", "c", "d"]
+        tracked = sum(1 for key in keys if cache.update(key, 100))
+        assert tracked == 2
+        assert cache.uncounted_packets == 2
+        assert cache.uncounted_bytes == 200
+
+    def test_poll_and_reset_returns_and_clears(self):
+        cache = CebinaeFlowCache(stages=2, slots_per_stage=16)
+        cache.update("f1", 1000)
+        cache.update("f2", 250)
+        snapshot = cache.poll_and_reset()
+        assert snapshot == {"f1": 1000, "f2": 250}
+        assert cache.occupancy == 0
+        assert cache.lookup("f1") == 0
+
+    def test_passive_reclaim_after_reset(self):
+        """After a reset, a previously crowded-out flow can claim its
+        slot again — the passive-management property."""
+        cache = CebinaeFlowCache(stages=1, slots_per_stage=1)
+        assert cache.update("a", 100)
+        assert not cache.update("b", 100)
+        cache.poll_and_reset()
+        assert cache.update("b", 100)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CebinaeFlowCache(stages=0)
+        with pytest.raises(ValueError):
+            CebinaeFlowCache(slots_per_stage=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 30),
+                              st.integers(64, 1500)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_counts_never_exceed_truth(self, updates):
+        cache = CebinaeFlowCache(stages=2, slots_per_stage=8)
+        truth = {}
+        for key, size in updates:
+            cache.update(key, size)
+            truth[key] = truth.get(key, 0) + size
+        for key, counted in cache.snapshot().items():
+            assert counted <= truth[key]
+
+
+class TestExactCache:
+    def test_counts_everything(self):
+        cache = ExactFlowCache()
+        for index in range(100):
+            assert cache.update(index, 10)
+        assert cache.occupancy == 100
+        assert cache.uncounted_packets == 0
+
+
+class TestSelectBottlenecked:
+    def test_empty_input(self):
+        top, total = select_bottlenecked({}, 0.01)
+        assert top == set() and total == 0
+
+    def test_single_max(self):
+        top, total = select_bottlenecked(
+            {"a": 1000, "b": 500, "c": 100}, 0.01)
+        assert top == {"a"}
+        assert total == 1000
+
+    def test_delta_f_groups_near_max(self):
+        top, total = select_bottlenecked(
+            {"a": 1000, "b": 995, "c": 500}, 0.01)
+        assert top == {"a", "b"}
+        assert total == 1995
+
+    def test_delta_f_one_selects_all(self):
+        counts = {"a": 1000, "b": 1, "c": 500}
+        top, total = select_bottlenecked(counts, 1.0)
+        assert top == set(counts)
+        assert total == 1501
+
+    def test_all_zero_counts(self):
+        top, total = select_bottlenecked({"a": 0, "b": 0}, 0.01)
+        assert top == set()
+
+
+class TestSyntheticTrace:
+    def test_deterministic_given_seed(self):
+        a = list(SyntheticTrace(duration_s=0.01, flows_per_minute=6000,
+                                seed=3).packets())
+        b = list(SyntheticTrace(duration_s=0.01, flows_per_minute=6000,
+                                seed=3).packets())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(SyntheticTrace(duration_s=0.01, flows_per_minute=6000,
+                                seed=3).packets())
+        b = list(SyntheticTrace(duration_s=0.01, flows_per_minute=6000,
+                                seed=4).packets())
+        assert a != b
+
+    def test_packets_in_time_order(self):
+        trace = SyntheticTrace(duration_s=0.02, flows_per_minute=60_000,
+                               seed=1)
+        times = [packet.time_ns for packet in trace.packets()]
+        assert times == sorted(times)
+        assert times[-1] < 0.02 * 1e9
+
+    def test_flow_population_independent_of_short_durations(self):
+        """Flows/min sets the *population*; a shorter trace just sees
+        fewer of each flow's packets, not fewer flows (otherwise the
+        detection experiments would be trivially uncontended)."""
+        short = SyntheticTrace(duration_s=0.1, flows_per_minute=60_000)
+        longer = SyntheticTrace(duration_s=30, flows_per_minute=60_000)
+        assert short.num_flows == longer.num_flows == 60_000
+
+    def test_flow_count_scales_beyond_a_minute(self):
+        one = SyntheticTrace(duration_s=60, flows_per_minute=6000)
+        two = SyntheticTrace(duration_s=120, flows_per_minute=6000)
+        assert two.num_flows == 2 * one.num_flows
+
+    def test_rates_are_heavy_tailed(self):
+        trace = SyntheticTrace(duration_s=0.5,
+                               flows_per_minute=120_000, seed=1)
+        rates = sorted(trace.flow_rates_bps, reverse=True)
+        top_share = sum(rates[:len(rates) // 100 or 1]) / sum(rates)
+        assert top_share > 0.1  # Top 1% of flows carry >10% of load.
+
+    def test_packet_sizes_bounded(self):
+        trace = SyntheticTrace(duration_s=0.01,
+                               flows_per_minute=60_000, seed=2)
+        for packet in trace.packets():
+            assert 64 <= packet.size_bytes <= 1500
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            SyntheticTrace(duration_s=0)
+
+
+class TestDetectionEvaluation:
+    def test_large_cache_has_low_error(self):
+        result = evaluate_detection(stages=4, slots_per_stage=4096,
+                                    round_interval_ms=50, trials=2,
+                                    trace_duration_s=0.1,
+                                    flows_per_minute=120_000)
+        assert result.false_positive_rate <= 0.01
+        assert result.false_negative_rate <= 0.3
+
+    def test_tiny_cache_has_higher_fnr(self):
+        small = evaluate_detection(stages=1, slots_per_stage=32,
+                                   round_interval_ms=50, trials=2,
+                                   trace_duration_s=0.1,
+                                   flows_per_minute=120_000)
+        big = evaluate_detection(stages=4, slots_per_stage=4096,
+                                 round_interval_ms=50, trials=2,
+                                 trace_duration_s=0.1,
+                                 flows_per_minute=120_000)
+        assert small.false_negative_rate >= big.false_negative_rate
+
+    def test_rates_are_probabilities(self):
+        result = evaluate_detection(stages=2, slots_per_stage=128,
+                                    round_interval_ms=20, trials=1,
+                                    trace_duration_s=0.05,
+                                    flows_per_minute=120_000)
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert 0.0 <= result.false_negative_rate <= 1.0
+        assert result.intervals > 0

@@ -1,0 +1,103 @@
+"""Integration tests: CCA interactions over a shared bottleneck.
+
+These reproduce, at small scale, the qualitative phenomena the paper's
+evaluation is built on: loss-based TCP beats delay-based, Cubic beats
+NewReno, BBR holds a large share against many loss-based flows, FIFO
+exhibits RTT unfairness, and FQ-CoDel equalises everything.
+"""
+
+import pytest
+
+from repro.fairness.metrics import jain_fairness_index
+from repro.netsim.engine import Simulator, seconds
+from repro.netsim.fq_codel import fq_codel_factory
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import build_dumbbell
+from repro.netsim.tracing import FlowMonitor
+from repro.tcp.flows import connect_flow
+
+
+def run_dumbbell(ccas, rtts_s, rate_bps=10e6, buffer_mtus=25,
+                 duration_s=30.0, queue_factory=None):
+    """Run one flow per (cca, rtt) pair; returns goodputs in bps."""
+    sim = Simulator()
+    factory = queue_factory or \
+        (lambda spec: DropTailQueue.from_mtu_count(buffer_mtus))
+    dumbbell = build_dumbbell([seconds(rtt) for rtt in rtts_s],
+                              rate_bps, factory, sim=sim)
+    monitor = FlowMonitor(sim)
+    flows = []
+    for index, cca in enumerate(ccas):
+        flows.append(connect_flow(dumbbell.senders[index],
+                                  dumbbell.receivers[index], cca,
+                                  monitor=monitor,
+                                  src_port=10_000 + index))
+    sim.run(until_ns=seconds(duration_s))
+    goodputs = monitor.goodputs_bps(seconds(duration_s))
+    return [goodputs[flow.flow_id] for flow in flows]
+
+
+class TestSingleFlow:
+    @pytest.mark.parametrize("cca", ["newreno", "cubic", "bic",
+                                     "vegas", "bbr"])
+    def test_each_cca_fills_the_link(self, cca):
+        goodputs = run_dumbbell([cca], [0.02], duration_s=20.0)
+        assert goodputs[0] > 0.80 * 10e6, f"{cca} underutilises"
+
+
+class TestHomogeneousSharing:
+    @pytest.mark.parametrize("cca", ["newreno", "cubic", "vegas"])
+    def test_equal_rtt_flows_share_fairly(self, cca):
+        goodputs = run_dumbbell([cca] * 4, [0.03] * 4, duration_s=30.0)
+        assert jain_fairness_index(goodputs) > 0.85
+        assert sum(goodputs) > 0.8 * 10e6
+
+
+class TestKnownUnfairness:
+    def test_rtt_unfairness_under_fifo(self):
+        """Figure 1's FIFO baseline: the short-RTT NewReno flow wins."""
+        goodputs = run_dumbbell(["newreno", "newreno"], [0.02, 0.06],
+                                duration_s=30.0)
+        assert goodputs[0] > 1.5 * goodputs[1]
+
+    def test_loss_based_beats_vegas(self):
+        """Vegas backs off on queueing delay; NewReno fills the buffer
+        (the Figure 7 effect)."""
+        goodputs = run_dumbbell(["vegas", "vegas", "newreno"],
+                                [0.05] * 3, buffer_mtus=60,
+                                duration_s=30.0)
+        vegas_total = goodputs[0] + goodputs[1]
+        assert goodputs[2] > vegas_total
+
+    def test_cubic_beats_newreno_on_long_rtt(self):
+        """Cubic's RTT-independent growth outcompetes NewReno at long
+        RTT (Table 2 rows 4-6)."""
+        goodputs = run_dumbbell(["cubic", "newreno"], [0.1, 0.1],
+                                buffer_mtus=85, duration_s=40.0)
+        assert goodputs[0] > 1.2 * goodputs[1]
+
+    def test_bbr_claims_large_share_against_reno_crowd(self):
+        """One BBR flow against several NewReno flows holds well above
+        its fair share (the Figure 8a effect)."""
+        ccas = ["newreno"] * 6 + ["bbr"]
+        goodputs = run_dumbbell(ccas, [0.05] * 7, buffer_mtus=40,
+                                duration_s=30.0)
+        fair_share = sum(goodputs) / len(goodputs)
+        assert goodputs[-1] > 1.5 * fair_share
+
+
+class TestFqCodelBaseline:
+    def test_fq_codel_equalises_mixed_ccas(self):
+        factory = fq_codel_factory(limit_packets=200)
+        goodputs = run_dumbbell(["vegas", "vegas", "newreno", "cubic"],
+                                [0.05] * 4, duration_s=30.0,
+                                queue_factory=factory)
+        assert jain_fairness_index(goodputs) > 0.9
+
+    def test_fq_codel_removes_rtt_bias(self):
+        factory = fq_codel_factory(limit_packets=200)
+        fifo = run_dumbbell(["newreno", "newreno"], [0.02, 0.08],
+                            duration_s=30.0)
+        fq = run_dumbbell(["newreno", "newreno"], [0.02, 0.08],
+                          duration_s=30.0, queue_factory=factory)
+        assert jain_fairness_index(fq) > jain_fairness_index(fifo)

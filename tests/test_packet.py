@@ -1,0 +1,76 @@
+"""Tests for packets and flow identifiers."""
+
+from repro.netsim.packet import (ACK_BYTES, HEADER_BYTES, MSS_BYTES,
+                                 MTU_BYTES, EcnCodepoint, FlowId, Packet,
+                                 PacketType, make_rotate_packet)
+
+
+class TestFlowId:
+    def test_equality_and_hash(self):
+        a = FlowId(1, 2, 100, 80)
+        b = FlowId(1, 2, 100, 80)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_reversed_swaps_endpoints(self):
+        flow = FlowId(1, 2, 100, 80)
+        rev = flow.reversed()
+        assert rev == FlowId(2, 1, 80, 100)
+        assert rev.reversed() == flow
+
+    def test_different_ports_differ(self):
+        assert FlowId(1, 2, 100, 80) != FlowId(1, 2, 101, 80)
+
+    def test_str_is_readable(self):
+        assert str(FlowId(1, 2, 100, 80)) == "tcp:1:100->2:80"
+
+    def test_usable_as_dict_key(self):
+        table = {FlowId(1, 2, 3, 4): "x"}
+        assert table[FlowId(1, 2, 3, 4)] == "x"
+
+
+class TestPacket:
+    def test_size_constants(self):
+        assert MTU_BYTES == MSS_BYTES + HEADER_BYTES
+        assert ACK_BYTES < MSS_BYTES
+
+    def test_defaults(self):
+        packet = Packet(flow=FlowId(1, 2, 3, 4), size_bytes=1500)
+        assert packet.ptype is PacketType.DATA
+        assert packet.ecn is EcnCodepoint.NOT_ECT
+        assert not packet.ece and not packet.cwr
+
+    def test_is_data_is_ack(self):
+        data = Packet(flow=FlowId(1, 2, 3, 4), size_bytes=1500)
+        ack = Packet(flow=FlowId(2, 1, 4, 3), size_bytes=64,
+                     ptype=PacketType.ACK)
+        assert data.is_data and not data.is_ack
+        assert ack.is_ack and not ack.is_data
+
+
+class TestEcnMarking:
+    def test_not_ect_cannot_be_marked(self):
+        packet = Packet(flow=FlowId(1, 2, 3, 4), size_bytes=1500)
+        assert packet.mark_ce() is False
+        assert packet.ecn is EcnCodepoint.NOT_ECT
+
+    def test_ect0_marks_to_ce(self):
+        packet = Packet(flow=FlowId(1, 2, 3, 4), size_bytes=1500,
+                        ecn=EcnCodepoint.ECT0)
+        assert packet.mark_ce() is True
+        assert packet.ecn is EcnCodepoint.CE
+
+    def test_ce_stays_ce(self):
+        packet = Packet(flow=FlowId(1, 2, 3, 4), size_bytes=1500,
+                        ecn=EcnCodepoint.CE)
+        assert packet.mark_ce() is True
+        assert packet.ecn is EcnCodepoint.CE
+
+
+class TestRotatePacket:
+    def test_rotate_packet_shape(self):
+        packet = make_rotate_packet(port=3, last_rates={"top": 10.0})
+        assert packet.ptype is PacketType.ROTATE
+        assert packet.size_bytes == 0
+        assert packet.meta["last_rates"] == {"top": 10.0}
+        assert packet.flow.protocol == "cebinae"

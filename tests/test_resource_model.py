@@ -1,0 +1,79 @@
+"""Tests for the Table 3 resource model."""
+
+import pytest
+
+from repro.core.resource_model import (TOFINO_PORTS, estimate_resources,
+                                       queues_required)
+
+
+class TestTable3Calibration:
+    """The model must reproduce the paper's two published rows."""
+
+    def test_one_stage_row(self):
+        usage = estimate_resources(cache_stages=1, slots_per_port=4096)
+        assert usage.pipeline_stages == 11
+        assert usage.phv_bits == 937
+        assert usage.sram_kb == pytest.approx(2448, abs=60)
+        assert usage.tcam_kb == 15
+        assert usage.vliw_instructions == 89
+        assert usage.queues == 64
+
+    def test_two_stage_row(self):
+        usage = estimate_resources(cache_stages=2, slots_per_port=4096)
+        assert usage.phv_bits == 1042
+        assert usage.sram_kb == pytest.approx(4096, abs=120)
+        assert usage.tcam_kb == 34
+        assert usage.vliw_instructions == 93
+        assert usage.queues == 64
+
+    def test_paper_headline_under_25_percent(self):
+        for stages in (1, 2):
+            usage = estimate_resources(cache_stages=stages)
+            assert usage.max_utilization < 0.25
+
+
+class TestModelBehaviour:
+    def test_sram_scales_with_slots(self):
+        small = estimate_resources(slots_per_port=1024)
+        large = estimate_resources(slots_per_port=4096)
+        assert large.sram_kb > small.sram_kb
+
+    def test_queues_scale_with_ports_only(self):
+        usage = estimate_resources(ports=16)
+        assert usage.queues == 32
+        more_stages = estimate_resources(ports=16, cache_stages=4)
+        assert more_stages.queues == 32
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_resources(cache_stages=0)
+        with pytest.raises(ValueError):
+            estimate_resources(slots_per_port=0)
+        with pytest.raises(ValueError):
+            estimate_resources(ports=0)
+
+    def test_utilization_fractions(self):
+        usage = estimate_resources()
+        assert 0 < usage.sram_utilization < 1
+        assert 0 < usage.phv_utilization < 1
+        assert usage.queue_utilization == pytest.approx(
+            2 / 32)
+
+
+class TestQueueScalingComparison:
+    """Section 5.5: Cebinae's queue count is constant in flow count."""
+
+    def test_cebinae_constant(self):
+        assert queues_required(10, "cebinae") == 2
+        assert queues_required(1_000_000, "cebinae") == 2
+
+    def test_ideal_fq_grows_linearly(self):
+        assert queues_required(1000, "fq") == 1000
+
+    def test_afq_fixed_budget(self):
+        assert queues_required(10, "afq") == 32
+        assert queues_required(10, "pcq") == 32
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            queues_required(10, "magic")
