@@ -11,14 +11,16 @@ from repro.experiments.figures import figure10
 from repro.experiments.report import figure10_report
 from repro.experiments.runner import Discipline
 
-from conftest import bench_duration_s, run_once
+from conftest import bench_cache_dir, bench_duration_s, bench_workers, \
+    run_once
 
 
 @pytest.mark.benchmark(group="figure10")
 def test_figure10_churn_series(benchmark):
     duration = max(bench_duration_s(50.0), 35.0)  # Cubic joins at 25 s.
     result = run_once(benchmark, figure10, duration_s=duration,
-                      num_vegas=16)
+                      num_vegas=16, workers=bench_workers(),
+                      cache_dir=bench_cache_dir())
     print()
     print(figure10_report(result))
     fifo_series = result.jfi_series(Discipline.FIFO)

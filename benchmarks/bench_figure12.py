@@ -13,7 +13,8 @@ import pytest
 from repro.experiments.figures import figure12
 from repro.experiments.report import figure12_report
 
-from conftest import bench_duration_s, run_once
+from conftest import bench_cache_dir, bench_duration_s, bench_workers, \
+    run_once
 
 THRESHOLDS = (0.01, 0.1, 0.5, 1.0) if "CEBINAE_BENCH_DURATION" not in \
     os.environ else (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
@@ -21,8 +22,11 @@ THRESHOLDS = (0.01, 0.1, 0.5, 1.0) if "CEBINAE_BENCH_DURATION" not in \
 
 @pytest.mark.benchmark(group="figure12")
 def test_figure12_threshold_sweep(benchmark):
+    # Baselines plus every threshold point share one pool and cache.
     result = run_once(benchmark, figure12, thresholds=THRESHOLDS,
-                      duration_s=bench_duration_s(25.0))
+                      duration_s=bench_duration_s(25.0),
+                      workers=bench_workers(),
+                      cache_dir=bench_cache_dir())
     print()
     print(figure12_report(result))
     for point in result.cebinae_points:

@@ -14,7 +14,7 @@ from repro.experiments.report import figure13_report
 from repro.heavyhitter.evaluation import (sweep_round_interval,
                                           sweep_slot_count)
 
-from conftest import run_once
+from conftest import bench_cache_dir, bench_workers, run_once
 
 QUICK = "CEBINAE_BENCH_DURATION" not in os.environ
 TRIALS = 1 if QUICK else 10
@@ -30,7 +30,9 @@ def test_figure13a_round_interval_sweep(benchmark):
                        stages_options=(1, 2, 4),
                        slots_per_stage=2048, trials=TRIALS,
                        trace_duration_s=TRACE_S,
-                       flows_per_minute=FLOWS_PER_MINUTE)
+                       flows_per_minute=FLOWS_PER_MINUTE,
+                       workers=bench_workers(),
+                       cache_dir=bench_cache_dir())
     print()
     print(figure13_report(results))
     for result in results:
@@ -53,7 +55,9 @@ def test_figure13b_slot_sweep(benchmark):
                        slot_options=slots, stages_options=(1, 2, 4),
                        round_interval_ms=100.0, trials=TRIALS,
                        trace_duration_s=TRACE_S,
-                       flows_per_minute=FLOWS_PER_MINUTE)
+                       flows_per_minute=FLOWS_PER_MINUTE,
+                       workers=bench_workers(),
+                       cache_dir=bench_cache_dir())
     print()
     print(figure13_report(results))
     # Shape: error is non-increasing in resources.  Compare smallest vs

@@ -13,7 +13,8 @@ from repro.experiments.figures import figure9
 from repro.experiments.report import figure9_report
 from repro.experiments.runner import Discipline
 
-from conftest import bench_duration_s, run_once
+from conftest import bench_cache_dir, bench_duration_s, bench_workers, \
+    run_once
 
 SWEEP_RTTS_MS = (16, 64, 256) if "CEBINAE_BENCH_DURATION" not in \
     os.environ else (16, 32, 64, 128, 256)
@@ -21,8 +22,12 @@ SWEEP_RTTS_MS = (16, 64, 256) if "CEBINAE_BENCH_DURATION" not in \
 
 @pytest.mark.benchmark(group="figure9")
 def test_figure9_rtt_sweep(benchmark):
+    # The sweep's (RTT x discipline) grid fans out over the process
+    # pool; a repeated invocation replays every point from the cache.
     points = run_once(benchmark, figure9, rtts_ms=SWEEP_RTTS_MS,
-                      duration_s=bench_duration_s(30.0))
+                      duration_s=bench_duration_s(30.0),
+                      workers=bench_workers(),
+                      cache_dir=bench_cache_dir())
     print()
     print(figure9_report(points))
     for point in points:

@@ -22,6 +22,28 @@ def bench_duration_s(default: float = 12.0) -> float:
     return float(os.environ.get("CEBINAE_BENCH_DURATION", default))
 
 
+def bench_workers(default: int = 2) -> int:
+    """Process-pool size for sweep benchmarks (env-overridable).
+
+    Independent (scenario, discipline) points fan out over this many
+    workers via ``repro.experiments.parallel``; set
+    ``CEBINAE_BENCH_WORKERS=1`` to force the serial path.
+    """
+    return int(os.environ.get("CEBINAE_BENCH_WORKERS", default))
+
+
+def bench_cache_dir() -> "str | None":
+    """Result-cache directory, or None to disable caching.
+
+    Defaults to ``.cebinae-cache`` in the working directory so a
+    repeated benchmark invocation replays cached points instead of
+    re-simulating them (the progress lines report each hit).  Set
+    ``CEBINAE_CACHE_DIR=`` (empty) or ``off`` to disable.
+    """
+    value = os.environ.get("CEBINAE_CACHE_DIR", ".cebinae-cache")
+    return None if value in ("", "0", "off", "none") else value
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an expensive scenario exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

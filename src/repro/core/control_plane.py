@@ -39,6 +39,30 @@ class ControlPlaneSample:
     top_rate_bytes_per_sec: float = 0.0
     bottom_rate_bytes_per_sec: float = 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-ready payload; ``top_flows`` is sorted so the output
+        is byte-identical across processes (set iteration order is
+        not)."""
+        return {
+            "time_ns": self.time_ns,
+            "utilization": self.utilization,
+            "saturated": self.saturated,
+            "top_flows": sorted(list(flow) for flow in self.top_flows),
+            "top_rate_bytes_per_sec": self.top_rate_bytes_per_sec,
+            "bottom_rate_bytes_per_sec": self.bottom_rate_bytes_per_sec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControlPlaneSample":
+        return cls(
+            time_ns=data["time_ns"],
+            utilization=data["utilization"],
+            saturated=data["saturated"],
+            top_flows={FlowId(*flow) for flow in data["top_flows"]},
+            top_rate_bytes_per_sec=data["top_rate_bytes_per_sec"],
+            bottom_rate_bytes_per_sec=data["bottom_rate_bytes_per_sec"],
+        )
+
 
 class CebinaeControlPlane:
     """The per-port agent driving rotation and reconfiguration."""

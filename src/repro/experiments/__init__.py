@@ -2,6 +2,8 @@
 every table and figure of the paper's evaluation, and report
 formatting."""
 
+from .parallel import (FailedRun, ResultCache, RunSpec, Task, require,
+                       run_many, run_tasks)
 from .runner import (Discipline, ScenarioResult, run_comparison,
                      run_scenario)
 from .scenarios import (DEFAULT_POLICY, FlowPlan, ScaledScenario,
@@ -13,6 +15,8 @@ __all__ = [
     "Discipline", "ScenarioResult", "run_scenario", "run_comparison",
     "ScenarioSpec", "ScaledScenario", "ScalePolicy", "DEFAULT_POLICY",
     "FlowPlan",
+    "RunSpec", "FailedRun", "ResultCache", "Task", "require",
+    "run_many", "run_tasks",
     "TABLE2_ROWS", "Table2Row", "Table2Comparison", "PaperNumbers",
     "run_table2", "run_table2_row",
 ]

@@ -28,39 +28,49 @@ def _duration(default: float, quick: bool) -> float:
 
 
 def run_experiment(name: str, quick: bool = False,
-                   rows: Optional[List[int]] = None) -> str:
-    """Run one experiment by name and return its report text."""
+                   rows: Optional[List[int]] = None,
+                   workers: int = 1,
+                   cache_dir: Optional[str] = None,
+                   use_cache: bool = True) -> str:
+    """Run one experiment by name and return its report text.
+
+    ``workers``/``cache_dir``/``use_cache`` flow into the parallel
+    executor: independent simulation points fan out over a process
+    pool, and finished points are replayed from the on-disk cache.
+    """
+    pool = {"workers": workers, "cache_dir": cache_dir,
+            "use_cache": use_cache}
     if name == "table2":
         selected = TABLE2_ROWS
         if rows:
             selected = [TABLE2_ROWS[i - 1] for i in rows]
         comparisons = run_table2(selected,
                                  duration_s=_duration(60.0, quick),
-                                 verbose=True)
+                                 verbose=True, **pool)
         return report.table2_report(comparisons)
     if name == "figure1":
         return report.figure1_report(
-            figures.figure1(duration_s=_duration(50.0, quick)))
+            figures.figure1(duration_s=_duration(50.0, quick), **pool))
     if name == "figure7":
         return report.bar_figure_report(
             "Figure 7 (16 Vegas vs 1 NewReno)",
-            figures.figure7(duration_s=_duration(60.0, quick)))
+            figures.figure7(duration_s=_duration(60.0, quick), **pool))
     if name == "figure8":
         part_a = report.bar_figure_report(
             "Figure 8a (128 NewReno vs 2 BBR)",
-            figures.figure8a(duration_s=_duration(60.0, quick)))
+            figures.figure8a(duration_s=_duration(60.0, quick), **pool))
         part_b = report.bar_figure_report(
             "Figure 8b (128 NewReno vs 4 Vegas)",
-            figures.figure8b(duration_s=_duration(60.0, quick)))
+            figures.figure8b(duration_s=_duration(60.0, quick), **pool))
         return part_a + "\n" + part_b
     if name == "figure9":
         rtts = (16, 64, 256) if quick else (16, 32, 64, 128, 256)
         return report.figure9_report(
             figures.figure9(rtts_ms=rtts,
-                            duration_s=_duration(60.0, quick)))
+                            duration_s=_duration(60.0, quick), **pool))
     if name == "figure10":
         return report.figure10_report(
-            figures.figure10(duration_s=_duration(50.0, quick)))
+            figures.figure10(duration_s=_duration(50.0, quick), **pool))
     if name == "figure11":
         results = [figures.figure11(discipline=d,
                                     duration_s=_duration(60.0, quick))
@@ -71,23 +81,23 @@ def run_experiment(name: str, quick: bool = False,
             (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
         return report.figure12_report(
             figures.figure12(thresholds=thresholds,
-                             duration_s=_duration(40.0, quick)))
+                             duration_s=_duration(40.0, quick), **pool))
     if name == "figure13":
         trials = 1 if quick else 10
         duration = 0.15 if quick else 0.5
         results = sweep_round_interval(
             intervals_ms=(10, 50, 100) if quick else (10, 20, 50, 100),
-            trials=trials, trace_duration_s=duration)
+            trials=trials, trace_duration_s=duration, **pool)
         results += sweep_slot_count(
             slot_options=(512, 2048) if quick else (512, 1024, 2048,
                                                     4096),
-            trials=trials, trace_duration_s=duration)
+            trials=trials, trace_duration_s=duration, **pool)
         return report.figure13_report(results)
     if name == "scalability":
         from .scalability import format_points, rtt_sweep
         rtts = (20, 320) if quick else (20, 80, 320)
         points = rtt_sweep(rtts_ms=rtts,
-                           duration_s=_duration(20.0, quick))
+                           duration_s=_duration(20.0, quick), **pool)
         return ("Cebinae vs AFQ under growing per-flow buffer "
                 "requirements\n" + format_points(points))
     if name == "table3":
@@ -113,13 +123,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="short durations for smoke runs")
     parser.add_argument("--rows", type=int, nargs="*",
                         help="table2 only: 1-based row numbers")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for independent "
+                             "simulation points (default 1: serial)")
+    parser.add_argument("--cache-dir", default=".cebinae-cache",
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore cached results and re-simulate "
+                             "every point")
     args = parser.parse_args(argv)
     names = [name for name in EXPERIMENTS if name != "all"] \
         if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
         print(f"=== {name} ===")
-        print(run_experiment(name, quick=args.quick, rows=args.rows))
+        print(run_experiment(name, quick=args.quick, rows=args.rows,
+                             workers=args.workers,
+                             cache_dir=args.cache_dir,
+                             use_cache=not args.no_cache))
         print(f"[{name}: {time.time() - start:.1f}s]\n")
     return 0
 

@@ -20,6 +20,7 @@ from ..netsim.queues import DropTailQueue
 from ..netsim.topology import build_parking_lot
 from ..netsim.tracing import FlowMonitor
 from ..tcp.flows import connect_flow
+from .parallel import RunSpec, require, run_many
 from .runner import Discipline, ScenarioResult, run_comparison, \
     run_scenario
 from .scenarios import DEFAULT_POLICY, ScalePolicy, ScenarioSpec
@@ -43,7 +44,8 @@ class Figure1Result:
 
 
 def figure1(policy: ScalePolicy = DEFAULT_POLICY,
-            duration_s: float = 50.0) -> Figure1Result:
+            duration_s: float = 50.0, workers: int = 1,
+            cache_dir=None, use_cache: bool = True) -> Figure1Result:
     spec = ScenarioSpec(name="figure1", rate_bps=100e6,
                         rtts_ms=(20.4, 40.0), buffer_mtus=350,
                         cca_mix=(("newreno", 1), ("newreno", 1)),
@@ -52,7 +54,9 @@ def figure1(policy: ScalePolicy = DEFAULT_POLICY,
     results = run_comparison(scaled,
                              disciplines=(Discipline.FIFO,
                                           Discipline.CEBINAE),
-                             collect_series=True, record_history=True)
+                             collect_series=True, record_history=True,
+                             workers=workers, cache_dir=cache_dir,
+                             use_cache=use_cache)
     return Figure1Result(fifo=results[Discipline.FIFO],
                          cebinae=results[Discipline.CEBINAE])
 
@@ -82,11 +86,14 @@ class BarFigureResult:
 
 
 def _two_way(spec: ScenarioSpec, policy: ScalePolicy,
-             paper_fifo: float, paper_ceb: float) -> BarFigureResult:
+             paper_fifo: float, paper_ceb: float, workers: int = 1,
+             cache_dir=None, use_cache: bool = True) -> BarFigureResult:
     scaled = policy.apply(spec)
     results = run_comparison(scaled,
                              disciplines=(Discipline.FIFO,
-                                          Discipline.CEBINAE))
+                                          Discipline.CEBINAE),
+                             workers=workers, cache_dir=cache_dir,
+                             use_cache=use_cache)
     return BarFigureResult(fifo=results[Discipline.FIFO],
                            cebinae=results[Discipline.CEBINAE],
                            paper_jfi_fifo=paper_fifo,
@@ -94,32 +101,41 @@ def _two_way(spec: ScenarioSpec, policy: ScalePolicy,
 
 
 def figure7(policy: ScalePolicy = DEFAULT_POLICY,
-            duration_s: float = 60.0) -> BarFigureResult:
+            duration_s: float = 60.0, workers: int = 1,
+            cache_dir=None, use_cache: bool = True) -> BarFigureResult:
     spec = ScenarioSpec(name="figure7", rate_bps=100e6, rtts_ms=(100,),
                         buffer_mtus=850,
                         cca_mix=(("vegas", 16), ("newreno", 1)),
                         duration_s=duration_s)
-    return _two_way(spec, policy, paper_fifo=0.093, paper_ceb=0.985)
+    return _two_way(spec, policy, paper_fifo=0.093, paper_ceb=0.985,
+                    workers=workers, cache_dir=cache_dir,
+                    use_cache=use_cache)
 
 
 def figure8a(policy: ScalePolicy = DEFAULT_POLICY,
-             duration_s: float = 60.0) -> BarFigureResult:
+             duration_s: float = 60.0, workers: int = 1,
+             cache_dir=None, use_cache: bool = True) -> BarFigureResult:
     """128 NewReno vs 2 BBR over 1 Gbps (paper JFI 0.774 -> 0.936)."""
     spec = ScenarioSpec(name="figure8a", rate_bps=1000e6,
                         rtts_ms=(100,), buffer_mtus=8350,
                         cca_mix=(("newreno", 128), ("bbr", 2)),
                         duration_s=duration_s)
-    return _two_way(spec, policy, paper_fifo=0.774, paper_ceb=0.936)
+    return _two_way(spec, policy, paper_fifo=0.774, paper_ceb=0.936,
+                    workers=workers, cache_dir=cache_dir,
+                    use_cache=use_cache)
 
 
 def figure8b(policy: ScalePolicy = DEFAULT_POLICY,
-             duration_s: float = 60.0) -> BarFigureResult:
+             duration_s: float = 60.0, workers: int = 1,
+             cache_dir=None, use_cache: bool = True) -> BarFigureResult:
     """128 NewReno vs 4 Vegas (starvation; paper JFI 0.956 -> 0.964)."""
     spec = ScenarioSpec(name="figure8b", rate_bps=1000e6,
                         rtts_ms=(64, 100), buffer_mtus=8500,
                         cca_mix=(("newreno", 128), ("vegas", 4)),
                         duration_s=duration_s)
-    return _two_way(spec, policy, paper_fifo=0.956, paper_ceb=0.964)
+    return _two_way(spec, policy, paper_fifo=0.956, paper_ceb=0.964,
+                    workers=workers, cache_dir=cache_dir,
+                    use_cache=use_cache)
 
 
 # --------------------------------------------------------------------------
@@ -140,9 +156,16 @@ class Figure9Point:
 
 def figure9(rtts_ms: Sequence[float] = (16, 32, 64, 128, 256),
             policy: ScalePolicy = DEFAULT_POLICY,
-            duration_s: float = 60.0) -> List[Figure9Point]:
-    """4 Cubic at 256 ms vs 4 Cubic at each swept RTT, 3 MB buffer."""
-    points = []
+            duration_s: float = 60.0, workers: int = 1,
+            cache_dir=None, use_cache: bool = True
+            ) -> List[Figure9Point]:
+    """4 Cubic at 256 ms vs 4 Cubic at each swept RTT, 3 MB buffer.
+
+    The full (RTT x discipline) grid fans out over one pool so the
+    sweep's wall clock is bounded by the slowest single point.
+    """
+    disciplines = (Discipline.FIFO, Discipline.FQ, Discipline.CEBINAE)
+    specs = []
     for rtt in rtts_ms:
         spec = ScenarioSpec(name=f"figure9_rtt{int(rtt)}",
                             rate_bps=400e6, rtts_ms=(256.0, float(rtt)),
@@ -150,8 +173,18 @@ def figure9(rtts_ms: Sequence[float] = (16, 32, 64, 128, 256),
                             cca_mix=(("cubic", 4), ("cubic", 4)),
                             duration_s=duration_s)
         scaled = policy.apply(spec)
-        points.append(Figure9Point(rtt_ms=float(rtt),
-                                   results=run_comparison(scaled)))
+        specs.extend(RunSpec(scaled=scaled, discipline=discipline)
+                     for discipline in disciplines)
+    results = run_many(specs, workers=workers, cache_dir=cache_dir,
+                       use_cache=use_cache)
+    points = []
+    for index, rtt in enumerate(rtts_ms):
+        chunk = results[index * len(disciplines):
+                        (index + 1) * len(disciplines)]
+        points.append(Figure9Point(
+            rtt_ms=float(rtt),
+            results={discipline: require(result)
+                     for discipline, result in zip(disciplines, chunk)}))
     return points
 
 
@@ -169,7 +202,8 @@ class Figure10Result:
 
 def figure10(policy: ScalePolicy = DEFAULT_POLICY,
              duration_s: float = 50.0,
-             num_vegas: int = 32) -> Figure10Result:
+             num_vegas: int = 32, workers: int = 1,
+             cache_dir=None, use_cache: bool = True) -> Figure10Result:
     """Vegas flows reach steady state; NewReno joins at ~5 s and Cubic
     at ~25 s, degrading fairness that Cebinae restores."""
     starts = tuple([0.0] * num_vegas + [5.0, 25.0])
@@ -180,7 +214,8 @@ def figure10(policy: ScalePolicy = DEFAULT_POLICY,
                         duration_s=duration_s, start_times_s=starts)
     scaled = policy.apply(spec)
     return Figure10Result(results=run_comparison(
-        scaled, collect_series=True))
+        scaled, collect_series=True, workers=workers,
+        cache_dir=cache_dir, use_cache=use_cache))
 
 
 # --------------------------------------------------------------------------
@@ -306,11 +341,13 @@ class Figure12Result:
 def figure12(thresholds: Sequence[float] = (0.01, 0.02, 0.05, 0.1,
                                             0.2, 0.5, 1.0),
              policy: ScalePolicy = DEFAULT_POLICY,
-             duration_s: float = 40.0) -> Figure12Result:
+             duration_s: float = 40.0, workers: int = 1,
+             cache_dir=None, use_cache: bool = True) -> Figure12Result:
     """JFI and goodput as δp = δf = τ sweep from 1% to 100%.
 
     The sweep sets the thresholds directly (it *is* the paper's x-axis)
-    rather than applying the scaling rule to them.
+    rather than applying the scaling rule to them.  The two baselines
+    and every threshold point share one pool.
     """
     from dataclasses import replace
 
@@ -319,20 +356,24 @@ def figure12(thresholds: Sequence[float] = (0.01, 0.02, 0.05, 0.1,
                         cca_mix=(("newreno", 16), ("cubic", 1)),
                         duration_s=duration_s)
     scaled = policy.apply(spec)
-    baselines = run_comparison(scaled, disciplines=(Discipline.FIFO,
-                                                    Discipline.FQ))
-    points = []
+    specs = [RunSpec(scaled=scaled, discipline=Discipline.FIFO),
+             RunSpec(scaled=scaled, discipline=Discipline.FQ)]
     for threshold in thresholds:
         params = replace(scaled.cebinae, tau=threshold,
                          delta_port=threshold, delta_flow=threshold,
                          min_bottom_rate_fraction=0.0)
-        swept = replace(scaled, cebinae=params)
-        result = run_scenario(swept, Discipline.CEBINAE)
+        specs.append(RunSpec(scaled=replace(scaled, cebinae=params),
+                             discipline=Discipline.CEBINAE))
+    results = [require(result) for result
+               in run_many(specs, workers=workers, cache_dir=cache_dir,
+                           use_cache=use_cache)]
+    points = []
+    for threshold, result in zip(thresholds, results[2:]):
         points.append(Figure12Point(threshold=threshold, jfi=result.jfi,
                                     goodput_bps=result.
                                     total_goodput_bps))
-    fifo = baselines[Discipline.FIFO]
-    fq = baselines[Discipline.FQ]
+    fifo = results[0]
+    fq = results[1]
     return Figure12Result(cebinae_points=points,
                           fifo_jfi=fifo.jfi,
                           fifo_goodput_bps=fifo.total_goodput_bps,

@@ -1,0 +1,366 @@
+"""Parallel scenario execution with deterministic replay and caching.
+
+Every point of the paper's evaluation — a Table 2 row under one
+discipline, one RTT of Figure 9's sweep, one threshold of Figure 12 —
+is an independent simulation, so the sweeps are embarrassingly
+parallel.  This module fans them out over a ``multiprocessing`` pool
+and memoises finished runs in an on-disk JSON cache so a re-run of a
+figure script only simulates the points whose parameters changed.
+
+Three properties make this safe:
+
+* **Determinism** — a run is a pure function of its parameters: the
+  engine orders events by ``(time_ns, seq)``, every RNG is seeded from
+  the scenario, and no module-level mutable state leaks between runs
+  (``tests/test_determinism.py`` pins this down).  A parallel sweep is
+  therefore bit-for-bit identical to the serial one.
+* **Round-trippable results** — :class:`ScenarioResult` serialises to
+  JSON and back without loss, so a cache hit is indistinguishable from
+  a fresh simulation.  Fresh results are passed through the same
+  encode/decode pair before being returned, guaranteeing parity.
+* **Stable keys** — cache entries are keyed by a SHA-256 fingerprint
+  of the *complete* run configuration (scenario spec, Cebinae
+  parameters, discipline, seed, collection flags) plus a cache-schema
+  version, so stale entries can never be confused for current ones.
+
+Typical use::
+
+    specs = [RunSpec(scaled, d) for d in Discipline]
+    results = run_many(specs, workers=4, cache_dir=".cebinae-cache")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Union)
+
+from .runner import Discipline, ScenarioResult, run_scenario
+from .scenarios import ScaledScenario
+
+#: Bump when simulation semantics change in a result-relevant way;
+#: invalidates every existing cache entry.
+CACHE_VERSION = 1
+
+
+# --------------------------------------------------------------------------
+# Fingerprinting: stable hashes of run parameters.
+# --------------------------------------------------------------------------
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter structure to canonical JSON-able primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {name: _canonical(getattr(value, name))
+                for name in sorted(f.name for f in
+                                   dataclasses.fields(value))}
+    if isinstance(value, Discipline):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} "
+                    f"for fingerprinting: {value!r}")
+
+
+def fingerprint(kind: str, params: Mapping[str, Any]) -> str:
+    """A stable hex digest of one run's complete configuration."""
+    blob = json.dumps({"cache_version": CACHE_VERSION, "kind": kind,
+                       "params": _canonical(dict(params))},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+# --------------------------------------------------------------------------
+# Run specifications and failure sentinels.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (scenario, discipline) point of a sweep."""
+
+    scaled: ScaledScenario
+    discipline: Discipline
+    collect_series: bool = False
+    record_history: bool = False
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        base = f"{self.scaled.spec.name}/{self.discipline.value}"
+        return base if self.seed == 0 else f"{base}@seed{self.seed}"
+
+    def params(self) -> Dict[str, Any]:
+        return {"scaled": self.scaled, "discipline": self.discipline,
+                "collect_series": self.collect_series,
+                "record_history": self.record_history,
+                "seed": self.seed}
+
+    def fingerprint(self) -> str:
+        return fingerprint("ScenarioResult", self.params())
+
+
+@dataclass
+class FailedRun:
+    """Sentinel recorded when a run kept failing after its retry.
+
+    Sweeps degrade gracefully: one crashing point is logged and
+    recorded as a :class:`FailedRun` instead of killing the pool.
+    """
+
+    label: str
+    error: str
+    attempts: int
+
+
+def require(result: Union[Any, FailedRun]) -> Any:
+    """Unwrap a run result, raising if the run failed."""
+    if isinstance(result, FailedRun):
+        raise RuntimeError(
+            f"run {result.label!r} failed after {result.attempts} "
+            f"attempts: {result.error}")
+    return result
+
+
+# --------------------------------------------------------------------------
+# The on-disk result cache.
+# --------------------------------------------------------------------------
+
+class ResultCache:
+    """A directory of ``<fingerprint>.json`` result payloads."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fp: str) -> Path:
+        return self.directory / f"{fp}.json"
+
+    def load(self, fp: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``fp``, or None (counts hit/miss)."""
+        path = self._path(fp)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("cache_version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, fp: str, kind: str, label: str,
+              payload: Dict[str, Any]) -> None:
+        """Atomically persist one result payload."""
+        entry = {"cache_version": CACHE_VERSION, "kind": kind,
+                 "label": label, "payload": payload}
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False,
+            encoding="utf-8")
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, self._path(fp))
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+# --------------------------------------------------------------------------
+# The generic task executor.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Task:
+    """One unit of pool work.
+
+    ``fn(**kwargs)`` must be picklable (a module-level function with
+    picklable arguments) and deterministic in its arguments.  ``encode``
+    maps its return value to a JSON payload and ``decode`` maps the
+    payload back; both run in the parent, and *every* result — cached
+    or fresh — passes through them so the two sources are identical.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any]
+    label: str
+    fingerprint: str = ""          # "" disables caching for this task.
+    kind: str = "result"
+    encode: Callable[[Any], Dict[str, Any]] = dataclasses.asdict
+    decode: Callable[[Dict[str, Any]], Any] = lambda payload: payload
+
+
+def _call_task(fn: Callable[..., Any],
+               kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side wrapper: run one task and time it."""
+    started = time.perf_counter()
+    value = fn(**kwargs)
+    return {"elapsed_s": time.perf_counter() - started, "value": value}
+
+
+def _emit(progress: Optional[Callable[[str], None]],
+          message: str) -> None:
+    if progress is not None:
+        progress(message)
+
+
+def _print_progress(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+def _describe(result: Any, elapsed_s: float) -> str:
+    extra = ""
+    events = getattr(result, "events", None)
+    duration = getattr(result, "duration_s", None)
+    if events is not None and elapsed_s > 0:
+        extra += f"  {events / elapsed_s / 1e3:.0f}k ev/s"
+    if duration is not None and elapsed_s > 0:
+        extra += f"  sim-rate {duration / elapsed_s:.2f}x"
+    return f"wall {elapsed_s:.2f}s{extra}"
+
+
+def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
+              cache_dir: Union[str, Path, None] = None,
+              use_cache: bool = True, retries: int = 1,
+              progress: Optional[Callable[[str], None]] = _print_progress
+              ) -> List[Union[Any, FailedRun]]:
+    """Execute ``tasks``, in order, over a process pool with caching.
+
+    Returns one entry per task, in task order: the decoded result, or a
+    :class:`FailedRun` sentinel if the task raised on every attempt.
+    ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` runs
+    serially in-process (no pool), which is also the fallback for
+    retries so a crashing worker cannot take the sweep down with it.
+    """
+    cache = None
+    if cache_dir is not None:
+        cache = cache_dir if isinstance(cache_dir, ResultCache) \
+            else ResultCache(cache_dir)
+    results: List[Union[Any, FailedRun]] = [None] * len(tasks)
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        payload = None
+        if cache is not None and use_cache and task.fingerprint:
+            payload = cache.load(task.fingerprint)
+        if payload is not None:
+            results[index] = task.decode(payload)
+            _emit(progress, f"[parallel] cached {task.label}")
+        else:
+            pending.append(index)
+
+    if not pending:
+        return results
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(int(workers), len(pending)))
+
+    envelopes: Dict[int, Union[Dict[str, Any], BaseException]] = {}
+    if workers == 1:
+        for index in pending:
+            task = tasks[index]
+            _emit(progress, f"[parallel] start  {task.label}")
+            try:
+                envelopes[index] = _call_task(task.fn, task.kwargs)
+            except Exception as exc:  # noqa: BLE001 - recorded below.
+                envelopes[index] = exc
+    else:
+        context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            handles = {}
+            for index in pending:
+                task = tasks[index]
+                _emit(progress, f"[parallel] start  {task.label}")
+                handles[index] = pool.apply_async(
+                    _call_task, (task.fn, task.kwargs))
+            for index in pending:
+                try:
+                    envelopes[index] = handles[index].get()
+                except Exception as exc:  # noqa: BLE001
+                    envelopes[index] = exc
+
+    for index in pending:
+        task = tasks[index]
+        envelope = envelopes[index]
+        attempts = 1
+        while isinstance(envelope, BaseException) and attempts <= retries:
+            _emit(progress,
+                  f"[parallel] retry  {task.label} after "
+                  f"{type(envelope).__name__}: {envelope}")
+            attempts += 1
+            try:
+                envelope = _call_task(task.fn, task.kwargs)
+            except Exception as exc:  # noqa: BLE001
+                envelope = exc
+        if isinstance(envelope, BaseException):
+            _emit(progress,
+                  f"[parallel] FAILED {task.label}: {envelope}")
+            results[index] = FailedRun(label=task.label,
+                                       error=str(envelope),
+                                       attempts=attempts)
+            continue
+        payload = task.encode(envelope["value"])
+        if cache is not None and task.fingerprint:
+            cache.store(task.fingerprint, task.kind, task.label, payload)
+        results[index] = task.decode(payload)
+        _emit(progress, f"[parallel] done   {task.label}  "
+              + _describe(results[index], envelope["elapsed_s"]))
+    return results
+
+
+# --------------------------------------------------------------------------
+# The scenario-level API.
+# --------------------------------------------------------------------------
+
+def _scenario_task(spec: RunSpec) -> Task:
+    return Task(fn=run_scenario,
+                kwargs={"scaled": spec.scaled,
+                        "discipline": spec.discipline,
+                        "collect_series": spec.collect_series,
+                        "record_history": spec.record_history,
+                        "seed": spec.seed},
+                label=spec.label,
+                fingerprint=spec.fingerprint(),
+                kind="ScenarioResult",
+                encode=ScenarioResult.to_dict,
+                decode=ScenarioResult.from_dict)
+
+
+def run_many(specs: Sequence[RunSpec], workers: Optional[int] = None,
+             cache_dir: Union[str, Path, None] = None,
+             use_cache: bool = True, retries: int = 1,
+             progress: Optional[Callable[[str], None]] = _print_progress
+             ) -> List[Union[ScenarioResult, FailedRun]]:
+    """Run independent scenario points over a process pool.
+
+    Results come back in spec order, each either a
+    :class:`ScenarioResult` (identical, field for field, to what the
+    serial :func:`~repro.experiments.runner.run_scenario` produces) or
+    a :class:`FailedRun` sentinel.  With ``cache_dir`` set, previously
+    simulated fingerprints are loaded from disk instead of re-run.
+    """
+    tasks = [_scenario_task(spec) for spec in specs]
+    return run_tasks(tasks, workers=workers, cache_dir=cache_dir,
+                     use_cache=use_cache, retries=retries,
+                     progress=progress)

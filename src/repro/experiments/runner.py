@@ -73,6 +73,64 @@ class ScenarioResult:
             active = {i: int(t) for i, t in enumerate(self.start_times_s)}
         return jfi_time_series(per_flow, active)
 
+    def to_dict(self) -> dict:
+        """A JSON-ready payload that round-trips without loss.
+
+        The parallel executor and its on-disk result cache depend on
+        ``from_dict(to_dict(r)) == r`` holding field for field.
+        """
+        return {
+            "name": self.name,
+            "discipline": self.discipline.value,
+            "duration_s": self.duration_s,
+            "sim_rate_bps": self.sim_rate_bps,
+            "rate_scale": self.rate_scale,
+            "flow_scale": self.flow_scale,
+            "cca_names": list(self.cca_names),
+            "goodputs_bps": list(self.goodputs_bps),
+            "throughput_bps": self.throughput_bps,
+            "events": self.events,
+            "lbf_drops": self.lbf_drops,
+            "lbf_delays": self.lbf_delays,
+            "buffer_drops": self.buffer_drops,
+            "goodput_series_bps":
+                [list(series) for series in self.goodput_series_bps]
+                if self.goodput_series_bps is not None else None,
+            "start_times_s": list(self.start_times_s)
+                if self.start_times_s is not None else None,
+            "cp_history":
+                [sample.to_dict() for sample in self.cp_history]
+                if self.cp_history is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict`'s payload."""
+        from ..core.control_plane import ControlPlaneSample
+        return cls(
+            name=data["name"],
+            discipline=Discipline(data["discipline"]),
+            duration_s=data["duration_s"],
+            sim_rate_bps=data["sim_rate_bps"],
+            rate_scale=data["rate_scale"],
+            flow_scale=data["flow_scale"],
+            cca_names=list(data["cca_names"]),
+            goodputs_bps=list(data["goodputs_bps"]),
+            throughput_bps=data["throughput_bps"],
+            events=data["events"],
+            lbf_drops=data["lbf_drops"],
+            lbf_delays=data["lbf_delays"],
+            buffer_drops=data["buffer_drops"],
+            goodput_series_bps=[list(series) for series
+                                in data["goodput_series_bps"]]
+            if data["goodput_series_bps"] is not None else None,
+            start_times_s=list(data["start_times_s"])
+            if data["start_times_s"] is not None else None,
+            cp_history=[ControlPlaneSample.from_dict(sample)
+                        for sample in data["cp_history"]]
+            if data["cp_history"] is not None else None,
+        )
+
 
 def queue_factory_for(discipline: Discipline, scaled: ScaledScenario,
                       agents: Optional[list] = None,
@@ -162,10 +220,28 @@ def run_comparison(scaled: ScaledScenario,
                        Discipline.FIFO, Discipline.FQ,
                        Discipline.CEBINAE),
                    collect_series: bool = False,
-                   record_history: bool = False
+                   record_history: bool = False,
+                   workers: int = 1,
+                   cache_dir=None,
+                   use_cache: bool = True
                    ) -> Dict[Discipline, ScenarioResult]:
-    """Run a scenario under each requested discipline."""
-    return {discipline: run_scenario(scaled, discipline,
-                                     collect_series=collect_series,
-                                     record_history=record_history)
-            for discipline in disciplines}
+    """Run a scenario under each requested discipline.
+
+    With ``workers > 1`` or a ``cache_dir``, the disciplines run
+    through :mod:`repro.experiments.parallel` (one pool slot each);
+    results are identical to the serial path either way.
+    """
+    if workers <= 1 and cache_dir is None:
+        return {discipline: run_scenario(scaled, discipline,
+                                         collect_series=collect_series,
+                                         record_history=record_history)
+                for discipline in disciplines}
+    from .parallel import RunSpec, require, run_many
+    specs = [RunSpec(scaled=scaled, discipline=discipline,
+                     collect_series=collect_series,
+                     record_history=record_history)
+             for discipline in disciplines]
+    results = run_many(specs, workers=workers, cache_dir=cache_dir,
+                       use_cache=use_cache)
+    return {discipline: require(result)
+            for discipline, result in zip(disciplines, results)}

@@ -11,6 +11,7 @@ fairness, goodput and horizon drops.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -83,20 +84,51 @@ def run_point(mechanism: str, num_flows: int, rtt_ms: float,
         horizon_drops=getattr(queue, "horizon_drops", 0))
 
 
+def _point_task(mechanism: str, num_flows: int, rtt_ms: float,
+                **kwargs):
+    """Build one pool task for :func:`run_point`.
+
+    The cache fingerprint covers *all* of ``run_point``'s arguments
+    with defaults resolved, so changing any default invalidates old
+    entries for callers that relied on it.
+    """
+    import inspect
+
+    from .parallel import Task, fingerprint
+    bound = inspect.signature(run_point).bind(mechanism, num_flows,
+                                              rtt_ms, **kwargs)
+    bound.apply_defaults()
+    params = dict(bound.arguments)
+    return Task(fn=run_point,
+                kwargs={"mechanism": mechanism, "num_flows": num_flows,
+                        "rtt_ms": rtt_ms, **kwargs},
+                label=f"scalability/{mechanism}"
+                      f"@{num_flows}x{rtt_ms:.0f}ms",
+                fingerprint=fingerprint("ScalabilityPoint", params),
+                kind="ScalabilityPoint",
+                encode=dataclasses.asdict,
+                decode=lambda payload: ScalabilityPoint(**payload))
+
+
 def rtt_sweep(rtts_ms: Sequence[float] = (20, 80, 320),
               num_flows: int = 4,
+              workers: int = 1,
+              cache_dir=None,
+              use_cache: bool = True,
               **kwargs) -> List[ScalabilityPoint]:
     """Grow the RTT (per-flow buffer requirement) at fixed queues.
 
     AFQ's Equation (1) head-room shrinks relative to the BDP; Cebinae
-    is RTT-insensitive by design.
+    is RTT-insensitive by design.  Every (RTT, mechanism) cell is an
+    independent simulation, executed through the shared pool/cache.
     """
-    points = []
-    for rtt in rtts_ms:
-        for mechanism in ("afq", "cebinae"):
-            points.append(run_point(mechanism, num_flows, rtt,
-                                    **kwargs))
-    return points
+    from .parallel import require, run_tasks
+    tasks = [_point_task(mechanism, num_flows, rtt, **kwargs)
+             for rtt in rtts_ms
+             for mechanism in ("afq", "cebinae")]
+    return [require(point) for point
+            in run_tasks(tasks, workers=workers, cache_dir=cache_dir,
+                         use_cache=use_cache)]
 
 
 def format_points(points: Sequence[ScalabilityPoint]) -> str:

@@ -190,12 +190,34 @@ def run_table2_row(row: Table2Row,
 def run_table2(rows: Optional[Sequence[Table2Row]] = None,
                policy: ScalePolicy = DEFAULT_POLICY,
                duration_s: Optional[float] = None,
-               verbose: bool = False) -> List[Table2Comparison]:
-    """Run (a subset of) Table 2 and return comparisons per row."""
+               verbose: bool = False,
+               workers: int = 1,
+               cache_dir=None,
+               use_cache: bool = True) -> List[Table2Comparison]:
+    """Run (a subset of) Table 2 and return comparisons per row.
+
+    The whole (row x discipline) grid — up to 75 independent
+    simulations — is fanned out over one process pool, so the sweep's
+    wall clock approaches the slowest single cell.
+    """
+    from .parallel import RunSpec, require, run_many
+    selected = list(rows) if rows is not None else list(TABLE2_ROWS)
+    disciplines = (Discipline.FIFO, Discipline.FQ, Discipline.CEBINAE)
+    specs = []
+    for row in selected:
+        scaled = policy.apply(row.spec, duration_s=duration_s)
+        specs.extend(RunSpec(scaled=scaled, discipline=discipline)
+                     for discipline in disciplines)
+    results = run_many(specs, workers=workers, cache_dir=cache_dir,
+                       use_cache=use_cache)
     comparisons = []
-    for row in rows if rows is not None else TABLE2_ROWS:
-        comparison = run_table2_row(row, policy=policy,
-                                    duration_s=duration_s)
+    for index, row in enumerate(selected):
+        chunk = results[index * len(disciplines):
+                        (index + 1) * len(disciplines)]
+        comparison = Table2Comparison(
+            row=row,
+            results={discipline: require(result) for discipline, result
+                     in zip(disciplines, chunk)})
         comparisons.append(comparison)
         if verbose:
             for discipline in comparison.results:

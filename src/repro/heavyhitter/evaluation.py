@@ -104,21 +104,63 @@ def evaluate_detection(stages: int, slots_per_stage: int,
     return result
 
 
+def _detection_tasks(configs: List[tuple], kwargs: dict) -> list:
+    """Pool tasks for a batch of ``evaluate_detection`` calls."""
+    import dataclasses
+    import inspect
+
+    # Imported lazily: the experiments package imports this module's
+    # siblings, so a top-level import would be circular.
+    from ..experiments.parallel import Task, fingerprint
+
+    tasks = []
+    for stages, slots, interval in configs:
+        bound = inspect.signature(evaluate_detection).bind(
+            stages, slots, interval, **kwargs)
+        bound.apply_defaults()
+        tasks.append(Task(
+            fn=evaluate_detection,
+            kwargs={"stages": stages, "slots_per_stage": slots,
+                    "round_interval_ms": interval, **kwargs},
+            label=f"figure13/s{stages}x{slots}@{interval:.0f}ms",
+            fingerprint=fingerprint("DetectionResult",
+                                    dict(bound.arguments)),
+            kind="DetectionResult",
+            encode=dataclasses.asdict,
+            decode=lambda payload: DetectionResult(**payload)))
+    return tasks
+
+
+def _run_sweep(configs: List[tuple], workers: int, cache_dir,
+               use_cache: bool, kwargs: dict) -> List[DetectionResult]:
+    from ..experiments.parallel import require, run_tasks
+    return [require(result) for result
+            in run_tasks(_detection_tasks(configs, kwargs),
+                         workers=workers, cache_dir=cache_dir,
+                         use_cache=use_cache)]
+
+
 def sweep_round_interval(intervals_ms: Iterable[float],
                          stages_options: Iterable[int] = (1, 2, 4),
                          slots_per_stage: int = 2048,
+                         workers: int = 1, cache_dir=None,
+                         use_cache: bool = True,
                          **kwargs) -> List[DetectionResult]:
     """Figure 13a: FPR/FNR vs round interval for 1/2/4 cache stages."""
-    return [evaluate_detection(stages, slots_per_stage, interval, **kwargs)
-            for stages in stages_options
-            for interval in intervals_ms]
+    configs = [(stages, slots_per_stage, interval)
+               for stages in stages_options
+               for interval in intervals_ms]
+    return _run_sweep(configs, workers, cache_dir, use_cache, kwargs)
 
 
 def sweep_slot_count(slot_options: Iterable[int],
                      stages_options: Iterable[int] = (1, 2, 4),
                      round_interval_ms: float = 100.0,
+                     workers: int = 1, cache_dir=None,
+                     use_cache: bool = True,
                      **kwargs) -> List[DetectionResult]:
     """Figure 13b: FPR/FNR vs slot count at a 100 ms round interval."""
-    return [evaluate_detection(stages, slots, round_interval_ms, **kwargs)
-            for stages in stages_options
-            for slots in slot_options]
+    configs = [(stages, slots, round_interval_ms)
+               for stages in stages_options
+               for slots in slot_options]
+    return _run_sweep(configs, workers, cache_dir, use_cache, kwargs)

@@ -100,7 +100,11 @@ class FqCoDelQueue(QueueDisc):
     def _bucket(self, flow: FlowId) -> object:
         if self.num_queues is None:
             return flow
-        return hash(flow) % self.num_queues
+        # stable_hash, not hash(): the builtin is randomised per
+        # process (PYTHONHASHSEED) and would make the flow-to-queue
+        # mapping — hence drops and goodputs — differ between a run
+        # and its deterministic replay elsewhere.
+        return flow.stable_hash() % self.num_queues
 
     def _get_queue(self, key: object) -> _FlowQueue:
         queue = self._queues.get(key)

@@ -177,3 +177,20 @@ class TestHashedQueues:
         second = queue.dequeue()
         assert {first.flow.src_port, second.flow.src_port} == {1, 2}
         assert len(queue._queues) == 1
+
+    def test_bucket_assignment_is_process_independent(self):
+        # The bucket must come from FlowId.stable_hash, never from the
+        # PYTHONHASHSEED-salted builtin hash(): hashed queue placement
+        # feeds drops and goodputs, which must replay identically in
+        # other processes (pool workers, cache validation re-runs).
+        sim = Simulator()
+        queue = FqCoDelQueue(sim, num_queues=32)
+        for port in range(16):
+            flow = FlowId(1, 2, port, 80)
+            assert queue._bucket(flow) == flow.stable_hash() % 32
+
+    def test_exact_mode_keeps_per_flow_queues(self):
+        sim = Simulator()
+        queue = FqCoDelQueue(sim)  # num_queues=None: exact FQ.
+        flow = FlowId(1, 2, 7, 80)
+        assert queue._bucket(flow) == flow

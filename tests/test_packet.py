@@ -1,5 +1,8 @@
 """Tests for packets and flow identifiers."""
 
+import subprocess
+import sys
+
 from repro.netsim.packet import (ACK_BYTES, HEADER_BYTES, MSS_BYTES,
                                  MTU_BYTES, EcnCodepoint, FlowId, Packet,
                                  PacketType, make_rotate_packet)
@@ -27,6 +30,45 @@ class TestFlowId:
     def test_usable_as_dict_key(self):
         table = {FlowId(1, 2, 3, 4): "x"}
         assert table[FlowId(1, 2, 3, 4)] == "x"
+
+
+class TestStableHash:
+    """FlowId.stable_hash backs deterministic cross-process replay.
+
+    The builtin ``hash()`` of a tuple containing a string is salted
+    with PYTHONHASHSEED, so anything derived from it (e.g. hashed
+    queue assignment) would differ between a run and its replay in
+    another process.  ``stable_hash`` must not.
+    """
+
+    def test_equal_flows_share_a_stable_hash(self):
+        assert FlowId(1, 2, 100, 80).stable_hash() == \
+            FlowId(1, 2, 100, 80).stable_hash()
+
+    def test_distinct_flows_spread(self):
+        hashes = {FlowId(1, 2, port, 80).stable_hash()
+                  for port in range(64)}
+        assert len(hashes) > 32  # crc32 spreads the five-tuple.
+
+    def test_stable_across_hash_randomisation(self):
+        # Same value under different PYTHONHASHSEED salts, i.e. in
+        # fresh interpreters where builtin hash() would disagree.
+        import os
+        from pathlib import Path
+
+        import repro
+        src = str(Path(repro.__file__).resolve().parents[1])
+        script = ("from repro.netsim.packet import FlowId; "
+                  "print(FlowId(1, 2, 100, 80).stable_hash())")
+        values = set()
+        for seed in ("0", "1", "random"):
+            env = dict(os.environ,
+                       PYTHONPATH=src, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script], check=True,
+                capture_output=True, text=True, env=env)
+            values.add(int(out.stdout))
+        assert len(values) == 1
 
 
 class TestPacket:

@@ -1,0 +1,136 @@
+"""The generic executor: fingerprints, retries, and failure sentinels.
+
+Covers the machinery under ``run_many``: stable cache keys that react
+to every result-relevant parameter, a retry that rescues transient
+failures, and graceful degradation to :class:`FailedRun` sentinels
+that never take the rest of the sweep down.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.parallel import (FailedRun, RunSpec, Task,
+                                        fingerprint, require, run_tasks)
+from repro.experiments.runner import Discipline
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+
+TINY_POLICY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def tiny_scaled(name="fp", duration_s=2.0, tau=0.01):
+    spec = ScenarioSpec(name=name, rate_bps=100e6, rtts_ms=(20, 30),
+                        buffer_mtus=60,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    scaled = TINY_POLICY.apply(spec)
+    return dataclasses.replace(
+        scaled, cebinae=dataclasses.replace(scaled.cebinae, tau=tau))
+
+
+class TestFingerprints:
+    def test_identical_specs_share_a_fingerprint(self):
+        a = RunSpec(tiny_scaled(), Discipline.FIFO)
+        b = RunSpec(tiny_scaled(), Discipline.FIFO)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("other", [
+        RunSpec(tiny_scaled(), Discipline.CEBINAE),
+        RunSpec(tiny_scaled(), Discipline.FIFO, seed=1),
+        RunSpec(tiny_scaled(), Discipline.FIFO, collect_series=True),
+        RunSpec(tiny_scaled(duration_s=3.0), Discipline.FIFO),
+        RunSpec(tiny_scaled(tau=0.2), Discipline.FIFO),
+    ])
+    def test_any_parameter_change_changes_the_fingerprint(self, other):
+        base = RunSpec(tiny_scaled(), Discipline.FIFO)
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_kind_partitions_the_key_space(self):
+        params = {"x": 1}
+        assert fingerprint("A", params) != fingerprint("B", params)
+
+    def test_unserialisable_params_are_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint("A", {"fn": object()})
+
+
+def _ok(value):
+    return {"value": value}
+
+
+def _passthrough_task(fn, label, **kwargs):
+    return Task(fn=fn, kwargs=kwargs, label=label,
+                encode=lambda v: v, decode=lambda p: p)
+
+
+class TestFailureHandling:
+    def test_persistent_failure_becomes_a_sentinel(self):
+        def boom(value):
+            raise ValueError(f"no {value}")
+
+        tasks = [_passthrough_task(_ok, "good-0", value=0),
+                 _passthrough_task(boom, "bad", value=1),
+                 _passthrough_task(_ok, "good-2", value=2)]
+        results = run_tasks(tasks, workers=1, progress=None)
+        # The sweep survives: neighbours of the crashing task complete.
+        assert results[0] == {"value": 0}
+        assert results[2] == {"value": 2}
+        failed = results[1]
+        assert isinstance(failed, FailedRun)
+        assert failed.label == "bad"
+        assert failed.attempts == 2  # first try + one retry
+        assert "no 1" in failed.error
+        with pytest.raises(RuntimeError, match="bad"):
+            require(failed)
+
+    def test_retry_rescues_a_transient_failure(self):
+        attempts = []
+
+        def flaky(value):
+            attempts.append(value)
+            if len(attempts) == 1:
+                raise OSError("transient")
+            return {"value": value}
+
+        messages = []
+        results = run_tasks([_passthrough_task(flaky, "flaky", value=9)],
+                            workers=1, progress=messages.append)
+        assert results == [{"value": 9}]
+        assert len(attempts) == 2
+        assert any("retry" in message for message in messages)
+
+    def test_retries_zero_fails_immediately(self):
+        def boom():
+            raise ValueError("nope")
+
+        results = run_tasks([_passthrough_task(boom, "boom")],
+                            workers=1, retries=0, progress=None)
+        assert isinstance(results[0], FailedRun)
+        assert results[0].attempts == 1
+
+
+class TestCliFlags:
+    def test_pool_flags_reach_run_experiment(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run(name, **kwargs):
+            seen.update(kwargs, name=name)
+            return "ok"
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        assert cli.main(["table3", "--workers", "2", "--no-cache"]) == 0
+        assert seen["name"] == "table3"
+        assert seen["workers"] == 2
+        assert seen["use_cache"] is False
+        assert seen["cache_dir"] == ".cebinae-cache"
+        assert "ok" in capsys.readouterr().out
+
+    def test_cache_enabled_by_default(self, monkeypatch, capsys):
+        seen = {}
+        monkeypatch.setattr(
+            cli, "run_experiment",
+            lambda name, **kwargs: seen.update(kwargs) or "ok")
+        cli.main(["table3", "--cache-dir", "/tmp/somewhere"])
+        assert seen["use_cache"] is True
+        assert seen["cache_dir"] == "/tmp/somewhere"
