@@ -1,0 +1,20 @@
+"""Static analysis & runtime invariants for the reproduction.
+
+* :mod:`repro.analysis.linter` — *simlint*, the AST-based determinism
+  and unit-safety analyzer (run as ``tools/simlint.py`` or
+  ``cebinae-repro lint``).
+* :mod:`repro.analysis.rules` — the rule catalog (IDs, hints).
+* :mod:`repro.analysis.invariants` — runtime checkers for the same
+  contracts (integer-ns clock, guarded Optional state).
+"""
+
+from .invariants import (InvariantViolation, require, require_int_ns,
+                         unwrap)
+from .linter import Finding, lint_paths, lint_source
+from .rules import RULES, Rule
+
+__all__ = [
+    "Finding", "lint_source", "lint_paths",
+    "Rule", "RULES",
+    "InvariantViolation", "require", "require_int_ns", "unwrap",
+]

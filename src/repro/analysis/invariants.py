@@ -1,0 +1,62 @@
+"""Runtime invariant checkers backing the static rules.
+
+simlint (:mod:`repro.analysis.linter`) catches contract violations it
+can see syntactically; these helpers enforce the same contracts at
+runtime where static analysis cannot reach (values crossing dynamic
+call boundaries, ``Optional`` state guarded by protocol rather than
+control flow).
+
+They are dependency-free on purpose: the simulation engine imports
+:func:`require_int_ns` on its hot path, and the TCP stack uses
+:func:`unwrap` to discharge ``Optional`` state whose presence is
+guaranteed by the CCA state machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class InvariantViolation(AssertionError):
+    """A runtime contract of the simulator was broken.
+
+    Subclasses :class:`AssertionError` so existing test harnesses that
+    treat assertion failures as bugs (not environmental errors) keep
+    doing the right thing.
+    """
+
+
+def require(condition: bool, message: str) -> None:
+    """Assert an invariant with a message; never stripped by ``-O``."""
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def unwrap(value: Optional[T], message: str = "unexpected None") -> T:
+    """Return ``value``, asserting it is not None.
+
+    The runtime companion to a ``# guarded by state machine`` comment:
+    it both narrows the type for mypy --strict and turns a protocol
+    violation into a diagnosable error instead of an AttributeError
+    three frames later.
+    """
+    if value is None:
+        raise InvariantViolation(message)
+    return value
+
+
+def require_int_ns(value: object, what: str) -> int:
+    """Enforce the integer-nanosecond clock contract on ``value``.
+
+    Rejects floats (drifting rotation boundaries — see the U201 rule)
+    and bools (a ``True`` delay is almost certainly a bug, not a 1 ns
+    wait).  Returns the value typed as ``int``.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise InvariantViolation(
+            f"{what} must be an integer number of nanoseconds, "
+            f"got {value!r} ({type(value).__name__}); convert with "
+            f"int()/round() or repro.netsim.engine.seconds()")
+    return value

@@ -24,10 +24,16 @@ holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from ..analysis.invariants import unwrap
 from ..netsim.engine import Simulator
 from .control_plane import CebinaeControlPlane
+from .params import CebinaeParams
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..netsim.queues import QueueDisc
+    from ..netsim.topology import PortSpec, QueueFactory
 
 
 @dataclass
@@ -55,7 +61,8 @@ class AdaptiveTauController:
         self.agent = agent
         self.config = config or AdaptiveTauConfig()
         self._last_seen = 0
-        self.adjustments: List[tuple] = []
+        #: (time_ns, new_tau, reason) per retune.
+        self.adjustments: List[Tuple[int, float, str]] = []
         if agent.history is None:
             raise ValueError(
                 "the supervised agent must record history "
@@ -81,7 +88,8 @@ class AdaptiveTauController:
         self.adjustments.append((self.sim.now_ns, new_tau, reason))
 
     def _supervise(self) -> None:
-        history = self.agent.history
+        # Non-None by the constructor's record_history check.
+        history = unwrap(self.agent.history, "agent history vanished")
         window = history[self._last_seen:]
         self._last_seen = len(history)
         self.sim.schedule(self._interval_ns, self._supervise)
@@ -105,17 +113,18 @@ class AdaptiveTauController:
                               "stagnation")
 
 
-def adaptive_cebinae_factory(buffer_mtus: int = 100,
-                             max_rtt_ns: int = 100_000_000,
-                             config: Optional[AdaptiveTauConfig] = None,
-                             agents: Optional[list] = None,
-                             controllers: Optional[list] = None,
-                             params=None):
+def adaptive_cebinae_factory(
+        buffer_mtus: int = 100,
+        max_rtt_ns: int = 100_000_000,
+        config: Optional[AdaptiveTauConfig] = None,
+        agents: Optional[List[CebinaeControlPlane]] = None,
+        controllers: Optional[List[AdaptiveTauController]] = None,
+        params: Optional[CebinaeParams] = None) -> "QueueFactory":
     """Queue factory installing Cebinae plus the τ supervisor."""
     from .control_plane import cebinae_factory
 
-    def factory(spec):
-        local_agents: list = []
+    def factory(spec: "PortSpec") -> "QueueDisc":
+        local_agents: List[CebinaeControlPlane] = []
         qdisc = cebinae_factory(params=params, buffer_mtus=buffer_mtus,
                                 max_rtt_ns=max_rtt_ns,
                                 record_history=True,

@@ -19,13 +19,16 @@ maximum flow, and taxes the group's aggregate rate by ``τ``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
 
 from ..heavyhitter.hashpipe import select_bottlenecked
 from ..netsim.engine import SECOND, Simulator
 from ..netsim.packet import FlowId
 from .params import CebinaeParams
 from .queue_disc import CebinaeQueueDisc
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..netsim.topology import QueueFactory
 
 
 @dataclass
@@ -39,7 +42,7 @@ class ControlPlaneSample:
     top_rate_bytes_per_sec: float = 0.0
     bottom_rate_bytes_per_sec: float = 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready payload; ``top_flows`` is sorted so the output
         is byte-identical across processes (set iteration order is
         not)."""
@@ -53,7 +56,7 @@ class ControlPlaneSample:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ControlPlaneSample":
+    def from_dict(cls, data: Dict[str, Any]) -> "ControlPlaneSample":
         return cls(
             time_ns=data["time_ns"],
             utilization=data["utilization"],
@@ -169,7 +172,8 @@ def cebinae_factory(params: Optional[CebinaeParams] = None,
                     buffer_mtus: int = 100,
                     max_rtt_ns: int = 100_000_000,
                     record_history: bool = False,
-                    agents: Optional[list] = None):
+                    agents: Optional[List["CebinaeControlPlane"]] = None
+                    ) -> "QueueFactory":
     """Queue factory installing Cebinae (data plane + agent) on a port.
 
     When ``params`` is None, timing parameters are derived per port from

@@ -28,7 +28,7 @@ this behaviour and experiments show TCP's backoff makes it benign.
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Dict, List
 
 from ..netsim.engine import SECOND
 from .params import CebinaeParams
@@ -62,7 +62,7 @@ class LeakyBucketFilter:
             FlowGroup.TOP: 0.0, FlowGroup.BOTTOM: 0.0}
         # rates[queue_index][group] in bytes/second.  Until the control
         # plane says otherwise, both groups may use the full capacity.
-        self.rates = [
+        self.rates: List[Dict[FlowGroup, float]] = [
             {FlowGroup.TOP: self.capacity_bytes_per_sec,
              FlowGroup.BOTTOM: self.capacity_bytes_per_sec},
             {FlowGroup.TOP: self.capacity_bytes_per_sec,

@@ -91,8 +91,8 @@ class CebinaeParams:
 
     def min_dt_ns(self, rate_bps: float, buffer_bytes: int) -> int:
         """Equation (2) lower bound on dT for a given port."""
-        drain_ns = buffer_bytes * 8 * SECOND / rate_bps
-        return int(math.ceil(drain_ns)) + self.vdt_ns + self.l_ns
+        drain_ns = int(math.ceil(buffer_bytes * 8 * SECOND / rate_bps))
+        return drain_ns + self.vdt_ns + self.l_ns
 
     def validate_for_link(self, rate_bps: float,
                           buffer_bytes: int) -> None:

@@ -18,7 +18,7 @@ squeezed toward the fair share individually.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..heavyhitter.hashpipe import select_bottlenecked
 from ..netsim.engine import SECOND, Simulator
@@ -28,6 +28,9 @@ from .control_plane import CebinaeControlPlane
 from .lbf import FlowGroup, LbfDecision
 from .params import CebinaeParams
 from .queue_disc import CebinaeQueueDisc
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..netsim.topology import QueueFactory
 
 
 class PerFlowCebinaeQueueDisc(CebinaeQueueDisc):
@@ -45,7 +48,7 @@ class PerFlowCebinaeQueueDisc(CebinaeQueueDisc):
         #: ``lbf.bytes[group]``.
         self.flow_bytes: Dict[FlowId, float] = {}
         #: Per-⊤-flow rates (bytes/second), per physical queue.
-        self.flow_rates: list = [dict(), dict()]
+        self.flow_rates: List[Dict[FlowId, float]] = [dict(), dict()]
 
     # -- per-flow LBF arithmetic -------------------------------------------
     def _admit_top_flow(self, flow: FlowId, size_bytes: int,
@@ -122,7 +125,9 @@ class PerFlowCebinaeQueueDisc(CebinaeQueueDisc):
     def set_membership(self, top_flows: Set[FlowId]) -> None:
         removed = self.top_flows - top_flows
         super().set_membership(top_flows)
-        for flow in removed:
+        # Sorted so ``flow_bytes`` insertion order (hence rotate() and
+        # report iteration order) never depends on set hash order.
+        for flow in sorted(removed):
             # Ex-⊤ flows rejoin the shared ⊥ bucket; their leftover
             # level decays out via rotate().
             self.flow_bytes.setdefault(flow, 0.0)
@@ -130,6 +135,10 @@ class PerFlowCebinaeQueueDisc(CebinaeQueueDisc):
 
 class PerFlowCebinaeControlPlane(CebinaeControlPlane):
     """Figure 4 with per-flow rate assignments for the ⊤ set."""
+
+    #: Narrowed from the base class: this agent drives the per-flow
+    #: queue disc's rate table as well.
+    qdisc: PerFlowCebinaeQueueDisc
 
     def __init__(self, sim: Simulator, qdisc: PerFlowCebinaeQueueDisc,
                  record_history: bool = False) -> None:
@@ -159,14 +168,16 @@ class PerFlowCebinaeControlPlane(CebinaeControlPlane):
         self._pending_flow_rates = {
             flow: flow_bytes_snapshot[flow] * (1.0 - params.tau)
             / window_sec
-            for flow in top}
+            for flow in sorted(top)}
 
 
 def perflow_cebinae_factory(params: Optional[CebinaeParams] = None,
                             buffer_mtus: int = 100,
                             max_rtt_ns: int = 100_000_000,
                             record_history: bool = False,
-                            agents: Optional[list] = None):
+                            agents: Optional[
+                                List[CebinaeControlPlane]] = None
+                            ) -> "QueueFactory":
     """Queue factory installing the per-flow Cebinae variant."""
     from ..netsim.packet import MTU_BYTES
     from ..netsim.topology import PortSpec

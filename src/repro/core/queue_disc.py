@@ -20,7 +20,7 @@ The control plane half lives in
 from __future__ import annotations
 
 import collections
-from typing import Deque, Optional, Set
+from typing import Deque, List, Optional, Set, Union
 
 from ..heavyhitter.hashpipe import CebinaeFlowCache, ExactFlowCache
 from ..netsim.engine import Simulator
@@ -44,7 +44,8 @@ class CebinaeQueueDisc(QueueDisc):
         self.buffer_bytes = buffer_bytes
         self.name = name
         self.lbf = LeakyBucketFilter(params, rate_bps)
-        self._queues: list = [collections.deque(), collections.deque()]
+        self._queues: List[Deque[Packet]] = [collections.deque(),
+                                             collections.deque()]
         self._queue_bytes = [0, 0]
         #: The ⊤ membership table (exact match, installed by the CP).
         self.top_flows: Set[FlowId] = set()
@@ -52,6 +53,8 @@ class CebinaeQueueDisc(QueueDisc):
         self.saturated = False
         #: Egress pipeline: transmit byte counter and flow cache.
         self.port_tx_bytes = 0
+        self.cache: Union[CebinaeFlowCache[FlowId],
+                          ExactFlowCache[FlowId]]
         if params.use_exact_cache:
             self.cache = ExactFlowCache()
         else:

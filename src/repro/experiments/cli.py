@@ -115,9 +115,20 @@ def run_experiment(name: str, quick: bool = False,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # ``cebinae-repro lint <paths>``: the simlint static analyzer
+        # (determinism / unit-safety / hygiene rules; see
+        # repro.analysis).  Shares exit-code semantics with
+        # ``python tools/simlint.py``.
+        from ..analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="cebinae-repro",
-        description="Reproduce the Cebinae (SIGCOMM 2022) evaluation.")
+        description="Reproduce the Cebinae (SIGCOMM 2022) evaluation. "
+                    "Also: 'cebinae-repro lint <paths>' runs the "
+                    "simlint determinism/unit-safety analyzer.")
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--quick", action="store_true",
                         help="short durations for smoke runs")
@@ -135,13 +146,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = [name for name in EXPERIMENTS if name != "all"] \
         if args.experiment == "all" else [args.experiment]
     for name in names:
-        start = time.time()
+        # Host-side progress timing, not simulation time.  Monotonic,
+        # because time.time() can step backwards under NTP and print a
+        # negative duration.
+        start = time.monotonic()  # simlint: allow[D103] CLI timer
         print(f"=== {name} ===")
         print(run_experiment(name, quick=args.quick, rows=args.rows,
                              workers=args.workers,
                              cache_dir=args.cache_dir,
                              use_cache=not args.no_cache))
-        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        elapsed = time.monotonic() - start  # simlint: allow[D103] CLI timer
+        print(f"[{name}: {elapsed:.1f}s]\n")
     return 0
 
 

@@ -92,7 +92,11 @@ def water_filling(link_capacities: Dict[Hashable, float],
                     break
         if not finished and increment <= 0:
             raise RuntimeError("water-filling failed to progress")
-        for flow_id in finished:
+        # Sorted (by repr: ids are only Hashable) so the iteration
+        # order of ``active`` — and with it the float accumulation
+        # order of ``remaining[link] -= increment``, which is not
+        # associative — is identical in every process.
+        for flow_id in sorted(finished, key=repr):
             del active[flow_id]
     return allocation
 

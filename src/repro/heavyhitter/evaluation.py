@@ -11,7 +11,8 @@ over 100 trials per data point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from .hashpipe import CebinaeFlowCache, select_bottlenecked
 from .traces import SyntheticTrace
@@ -104,7 +105,8 @@ def evaluate_detection(stages: int, slots_per_stage: int,
     return result
 
 
-def _detection_tasks(configs: List[tuple], kwargs: dict) -> list:
+def _detection_tasks(configs: List[Tuple[int, int, float]],
+                     kwargs: Dict[str, Any]) -> List[Any]:
     """Pool tasks for a batch of ``evaluate_detection`` calls."""
     import dataclasses
     import inspect
@@ -113,7 +115,7 @@ def _detection_tasks(configs: List[tuple], kwargs: dict) -> list:
     # siblings, so a top-level import would be circular.
     from ..experiments.parallel import Task, fingerprint
 
-    tasks = []
+    tasks: List[Any] = []
     for stages, slots, interval in configs:
         bound = inspect.signature(evaluate_detection).bind(
             stages, slots, interval, **kwargs)
@@ -131,8 +133,10 @@ def _detection_tasks(configs: List[tuple], kwargs: dict) -> list:
     return tasks
 
 
-def _run_sweep(configs: List[tuple], workers: int, cache_dir,
-               use_cache: bool, kwargs: dict) -> List[DetectionResult]:
+def _run_sweep(configs: List[Tuple[int, int, float]], workers: int,
+               cache_dir: Union[str, Path, None],
+               use_cache: bool,
+               kwargs: Dict[str, Any]) -> List[DetectionResult]:
     from ..experiments.parallel import require, run_tasks
     return [require(result) for result
             in run_tasks(_detection_tasks(configs, kwargs),
@@ -143,9 +147,10 @@ def _run_sweep(configs: List[tuple], workers: int, cache_dir,
 def sweep_round_interval(intervals_ms: Iterable[float],
                          stages_options: Iterable[int] = (1, 2, 4),
                          slots_per_stage: int = 2048,
-                         workers: int = 1, cache_dir=None,
+                         workers: int = 1,
+                         cache_dir: Union[str, Path, None] = None,
                          use_cache: bool = True,
-                         **kwargs) -> List[DetectionResult]:
+                         **kwargs: Any) -> List[DetectionResult]:
     """Figure 13a: FPR/FNR vs round interval for 1/2/4 cache stages."""
     configs = [(stages, slots_per_stage, interval)
                for stages in stages_options
@@ -156,9 +161,10 @@ def sweep_round_interval(intervals_ms: Iterable[float],
 def sweep_slot_count(slot_options: Iterable[int],
                      stages_options: Iterable[int] = (1, 2, 4),
                      round_interval_ms: float = 100.0,
-                     workers: int = 1, cache_dir=None,
+                     workers: int = 1,
+                     cache_dir: Union[str, Path, None] = None,
                      use_cache: bool = True,
-                     **kwargs) -> List[DetectionResult]:
+                     **kwargs: Any) -> List[DetectionResult]:
     """Figure 13b: FPR/FNR vs slot count at a 100 ms round interval."""
     configs = [(stages, slots, round_interval_ms)
                for stages in stages_options

@@ -17,7 +17,12 @@ regardless of Python's string-hash randomisation.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import (Dict, Generic, Hashable, List, Optional, Set,
+                    Tuple, TypeVar)
+
+#: The flow-key type a cache is instantiated over (FlowId in the
+#: simulator; tests use ints and strings).
+K = TypeVar("K", bound=Hashable)
 
 
 def stage_hash(key: Hashable, salt: int) -> int:
@@ -26,7 +31,7 @@ def stage_hash(key: Hashable, salt: int) -> int:
     return zlib.crc32(data, salt & 0xFFFFFFFF)
 
 
-class CebinaeFlowCache:
+class CebinaeFlowCache(Generic[K]):
     """Multi-stage, passively managed byte-count cache."""
 
     def __init__(self, stages: int = 2, slots_per_stage: int = 2048,
@@ -39,14 +44,14 @@ class CebinaeFlowCache:
         self.slots_per_stage = slots_per_stage
         self._salts = [seed * 0x9E3779B1 + s * 0x85EBCA77
                        for s in range(stages)]
-        self._keys: List[List[Optional[Hashable]]] = [
+        self._keys: List[List[Optional[K]]] = [
             [None] * slots_per_stage for _ in range(stages)]
         self._counts: List[List[int]] = [
             [0] * slots_per_stage for _ in range(stages)]
         self.uncounted_packets = 0
         self.uncounted_bytes = 0
 
-    def update(self, key: Hashable, nbytes: int) -> bool:
+    def update(self, key: K, nbytes: int) -> bool:
         """Account ``nbytes`` for ``key``.  False if no slot was free."""
         for stage in range(self.stages):
             index = stage_hash(key, self._salts[stage]) % \
@@ -63,7 +68,7 @@ class CebinaeFlowCache:
         self.uncounted_bytes += nbytes
         return False
 
-    def lookup(self, key: Hashable) -> int:
+    def lookup(self, key: K) -> int:
         """The bytes currently recorded for ``key`` (0 if untracked)."""
         for stage in range(self.stages):
             index = stage_hash(key, self._salts[stage]) % \
@@ -72,16 +77,16 @@ class CebinaeFlowCache:
                 return self._counts[stage][index]
         return 0
 
-    def snapshot(self) -> Dict[Hashable, int]:
+    def snapshot(self) -> Dict[K, int]:
         """All (flow, bytes) entries currently held."""
-        result: Dict[Hashable, int] = {}
+        result: Dict[K, int] = {}
         for stage in range(self.stages):
             for key, count in zip(self._keys[stage], self._counts[stage]):
                 if key is not None:
                     result[key] = result.get(key, 0) + count
         return result
 
-    def poll_and_reset(self) -> Dict[Hashable, int]:
+    def poll_and_reset(self) -> Dict[K, int]:
         """Control-plane poll: return all entries and clear the cache.
 
         Mirrors the serializable poll+reset of the paper (every entry is
@@ -104,7 +109,7 @@ class CebinaeFlowCache:
                    for key in stage if key is not None)
 
 
-class ExactFlowCache:
+class ExactFlowCache(Generic[K]):
     """A collision-free reference cache (dict-backed).
 
     Used by unit tests and available to the Cebinae queue disc when an
@@ -112,21 +117,21 @@ class ExactFlowCache:
     """
 
     def __init__(self) -> None:
-        self._counts: Dict[Hashable, int] = {}
+        self._counts: Dict[K, int] = {}
         self.uncounted_packets = 0
         self.uncounted_bytes = 0
 
-    def update(self, key: Hashable, nbytes: int) -> bool:
+    def update(self, key: K, nbytes: int) -> bool:
         self._counts[key] = self._counts.get(key, 0) + nbytes
         return True
 
-    def lookup(self, key: Hashable) -> int:
+    def lookup(self, key: K) -> int:
         return self._counts.get(key, 0)
 
-    def snapshot(self) -> Dict[Hashable, int]:
+    def snapshot(self) -> Dict[K, int]:
         return dict(self._counts)
 
-    def poll_and_reset(self) -> Dict[Hashable, int]:
+    def poll_and_reset(self) -> Dict[K, int]:
         result = self._counts
         self._counts = {}
         return result
@@ -136,8 +141,8 @@ class ExactFlowCache:
         return len(self._counts)
 
 
-def select_bottlenecked(flow_bytes: Dict[Hashable, int],
-                        delta_flow: float) -> Tuple[set, int]:
+def select_bottlenecked(flow_bytes: Dict[K, int],
+                        delta_flow: float) -> Tuple[Set[K], int]:
     """The paper's ⊤ selection rule (Figure 4, lines 17-25).
 
     Returns the set of flows whose byte count is within ``delta_flow``

@@ -11,8 +11,9 @@ makes that design contrast testable.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
+from ..analysis.invariants import unwrap
 from .hashpipe import stage_hash
 
 
@@ -38,13 +39,13 @@ class CountMinSketch:
     def update(self, key: Hashable, amount: int) -> int:
         """Add ``amount`` for ``key``; returns the new estimate."""
         self.updates += 1
-        estimate = None
+        estimate: Optional[int] = None
         for row, index in enumerate(self._indexes(key)):
             self._counts[row][index] += amount
             value = self._counts[row][index]
             estimate = value if estimate is None else min(estimate,
                                                           value)
-        return estimate
+        return unwrap(estimate, "sketch has no rows")
 
     def estimate(self, key: Hashable) -> int:
         """The (never under-) estimated byte count for ``key``."""

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from ..analysis.invariants import require_int_ns
 
 #: One nanosecond, the base time unit of the engine.
 NANOSECOND = 1
@@ -55,7 +57,8 @@ class Event:
     __slots__ = ("time_ns", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time_ns: int, seq: int,
-                 callback: Callable[..., None], args: tuple):
+                 callback: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
         self.time_ns = time_ns
         self.seq = seq
         self.callback = callback
@@ -80,7 +83,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._seq: Iterator[int] = itertools.count()
         self._now_ns = 0
         self._running = False
         self._processed = 0
@@ -103,6 +106,7 @@ class Simulator:
     def schedule(self, delay_ns: int, callback: Callable[..., None],
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        require_int_ns(delay_ns, "schedule() delay_ns")
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
         return self.schedule_at(self._now_ns + delay_ns, callback, *args)
@@ -110,6 +114,7 @@ class Simulator:
     def schedule_at(self, time_ns: int, callback: Callable[..., None],
                     *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        require_int_ns(time_ns, "schedule_at() time_ns")
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, now is {self._now_ns}ns")
@@ -148,6 +153,10 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if until_ns is not None:
+            # A float here would be silently written into the clock on
+            # return, poisoning every later timestamp.
+            require_int_ns(until_ns, "run() until_ns")
         self._running = True
         executed = 0
         try:

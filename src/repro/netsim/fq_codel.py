@@ -62,7 +62,8 @@ class _FlowQueue:
 
     __slots__ = ("packets", "deficit", "codel", "active", "is_new")
 
-    def __init__(self, quantum: int, target_ns: int, interval_ns: int):
+    def __init__(self, quantum: int, target_ns: int,
+                 interval_ns: int) -> None:
         self.packets: Deque[Packet] = collections.deque()
         self.deficit = quantum
         self.codel = CoDelState(target_ns=target_ns, interval_ns=interval_ns)

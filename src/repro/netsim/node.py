@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
+from ..analysis.invariants import unwrap
 from .engine import Simulator
 from .link import Link
 from .packet import FlowId, Packet
@@ -117,8 +118,10 @@ class Host(Node):
         """Inject a locally generated packet into the network."""
         if self._tx_jitter_ns <= 0:
             return self.forward(packet)
+        rng = unwrap(self._jitter_rng,
+                     "tx jitter enabled without set_tx_jitter()")
         release_ns = self.sim.now_ns + \
-            self._jitter_rng.randint(0, self._tx_jitter_ns)
+            rng.randint(0, self._tx_jitter_ns)
         release_ns = max(release_ns, self._last_release_ns)
         self._last_release_ns = release_ns
         self.sim.schedule_at(release_ns, self.forward, packet)

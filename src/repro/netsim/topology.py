@@ -267,14 +267,15 @@ def build_parking_lot(num_long_flows: int, cross_flow_counts: Sequence[int],
                                + 10_007 * jitter_seed)
         return host
 
-    bottlenecks = []
+    bottlenecks: List[Link] = []
     for i in range(num_segments):
         fwd, _ = network.connect(routers[i], routers[i + 1],
                                  bottleneck_rate_bps, bottleneck_delay_ns,
                                  queue_ab=bottleneck_queue)
         bottlenecks.append(fwd)
 
-    long_senders, long_receivers = [], []
+    long_senders: List[Host] = []
+    long_receivers: List[Host] = []
     for j in range(num_long_flows):
         sender = add_jittered_host(f"ls{j}")
         receiver = add_jittered_host(f"lr{j}")
@@ -283,9 +284,11 @@ def build_parking_lot(num_long_flows: int, cross_flow_counts: Sequence[int],
         long_senders.append(sender)
         long_receivers.append(receiver)
 
-    cross_senders, cross_receivers = [], []
+    cross_senders: List[List[Host]] = []
+    cross_receivers: List[List[Host]] = []
     for i, count in enumerate(cross_flow_counts):
-        group_s, group_r = [], []
+        group_s: List[Host] = []
+        group_r: List[Host] = []
         for j in range(count):
             sender = add_jittered_host(f"cs{i}_{j}")
             receiver = add_jittered_host(f"cr{i}_{j}")

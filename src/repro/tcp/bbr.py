@@ -48,7 +48,7 @@ class Bbr(CongestionControl):
 
     name = "bbr"
 
-    def __init__(self, mss_bytes: int = None) -> None:
+    def __init__(self, mss_bytes: Optional[int] = None) -> None:
         if mss_bytes is None:
             super().__init__()
         else:

@@ -15,7 +15,7 @@ optional pacing rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..netsim.packet import MSS_BYTES
 
@@ -123,7 +123,8 @@ class WindowedFilter:
     def __init__(self, window: int, is_max: bool = True) -> None:
         self.window = window
         self.is_max = is_max
-        self._samples: list = []  # (time, value), monotonic in value
+        # (time, value), monotonic in value.
+        self._samples: List[Tuple[int, float]] = []
 
     def _better(self, a: float, b: float) -> bool:
         return a >= b if self.is_max else a <= b

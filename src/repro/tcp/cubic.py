@@ -14,6 +14,9 @@ and bytes at the interface.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..analysis.invariants import unwrap
 from .cca import (AckContext, CongestionControl,
                   congestion_avoidance_increase, slow_start_increase)
 
@@ -26,14 +29,15 @@ class Cubic(CongestionControl):
     beta = 0.7        # Multiplicative decrease factor.
     fast_convergence = True
 
-    def __init__(self, mss_bytes: int = None) -> None:
+    def __init__(self, mss_bytes: Optional[int] = None) -> None:
         if mss_bytes is None:
             super().__init__()
         else:
             super().__init__(mss_bytes)
         self._w_max_seg = 0.0        # Window (segments) at last reduction.
         self._k_sec = 0.0            # Time to regrow to w_max.
-        self._epoch_start_ns = None  # Start of the current growth epoch.
+        #: Start of the current growth epoch (None between epochs).
+        self._epoch_start_ns: Optional[int] = None
         self._w_est_seg = 0.0        # TCP-friendly window estimate.
         self._acked_since_epoch = 0.0
 
@@ -54,7 +58,8 @@ class Cubic(CongestionControl):
         self._acked_since_epoch = 0.0
 
     def _cubic_target_seg(self, now_ns: int) -> float:
-        t_sec = (now_ns - self._epoch_start_ns) / 1e9
+        epoch_ns = unwrap(self._epoch_start_ns, "no growth epoch open")
+        t_sec = (now_ns - epoch_ns) / 1e9
         return (self.C * (t_sec - self._k_sec) ** 3 + self._w_max_seg)
 
     # -- CCA hooks ---------------------------------------------------------
@@ -113,7 +118,7 @@ class Bic(CongestionControl):
     smin_seg = 0.01      # Minimum increment per RTT.
     low_window_seg = 14  # Below this, behave like Reno.
 
-    def __init__(self, mss_bytes: int = None) -> None:
+    def __init__(self, mss_bytes: Optional[int] = None) -> None:
         if mss_bytes is None:
             super().__init__()
         else:

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Optional, Tuple
 
-from ..netsim.engine import MILLISECOND, SECOND, Simulator
+from ..netsim.engine import MILLISECOND, SECOND, Event, Simulator
 from ..netsim.node import Host
 from ..netsim.packet import (ACK_BYTES, HEADER_BYTES, MSS_BYTES,
                              EcnCodepoint, FlowId, Packet, PacketType)
@@ -117,8 +117,8 @@ class TcpSender:
         self._cwr_pending = False
         # Timing.
         self.rtt = RttEstimator()
-        self._rto_event = None
-        self._pacing_event = None
+        self._rto_event: Optional[Event] = None
+        self._pacing_event: Optional[Event] = None
         self._pacing_next_ns = 0
         # Karn's algorithm: no RTT samples at or below this sequence.
         self._ambiguous_below = 0
@@ -369,10 +369,11 @@ class TcpSender:
         self._ecn_recover_seq = self.snd_nxt
         self._cwr_pending = True
 
-    def _collect_samples(self, ack: int):
+    def _collect_samples(
+            self, ack: int) -> Tuple[Optional[int], Optional[float]]:
         """RTT and delivery-rate samples from newly acked segments."""
-        rtt_sample = None
-        rate_sample = None
+        rtt_sample: Optional[int] = None
+        rate_sample: Optional[float] = None
         now = self.sim.now_ns
         while self._segments and self._segments[0].end_seq <= ack:
             info = self._segments.popleft()
@@ -536,7 +537,7 @@ class TcpReceiver:
             self.monitor.on_delivered(self.flow, payload_bytes)
 
     def _send_ack(self) -> None:
-        sack = ()
+        sack: Tuple[Tuple[int, int], ...] = ()
         if self.sack_enabled and self._ranges:
             sack = tuple(self._ranges.first_blocks(SACK_BLOCK_LIMIT))
         ack = Packet(flow=self.flow.reversed(), size_bytes=ACK_BYTES,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..netsim.engine import SECOND, Simulator
+from ..netsim.engine import SECOND, Event, Simulator
 from ..netsim.node import Host
 from ..netsim.packet import HEADER_BYTES, MSS_BYTES, FlowId, Packet, \
     PacketType
@@ -37,7 +37,7 @@ class UdpSender:
         self.sent_packets = 0
         self.sent_bytes = 0
         self._seq = 0
-        self._event = None
+        self._event: Optional[Event] = None
         self.running = False
 
     def start(self) -> None:

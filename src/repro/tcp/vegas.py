@@ -13,6 +13,8 @@ fill the buffer — the effect Figures 7/8b quantify and Cebinae repairs.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .cca import AckContext, CongestionControl, slow_start_increase
 
 
@@ -24,13 +26,15 @@ class Vegas(CongestionControl):
     beta_seg = 4.0   # Upper bound on queued segments.
     gamma_seg = 1.0  # Slow-start exit threshold.
 
-    def __init__(self, mss_bytes: int = None) -> None:
+    def __init__(self, mss_bytes: Optional[int] = None) -> None:
         if mss_bytes is None:
             super().__init__()
         else:
             super().__init__(mss_bytes)
-        self._base_rtt_ns = None      # Minimum RTT ever observed.
-        self._epoch_min_rtt_ns = None  # Minimum RTT this epoch.
+        #: Minimum RTT ever observed (None before the first sample).
+        self._base_rtt_ns: Optional[int] = None
+        #: Minimum RTT this epoch (cleared at every epoch boundary).
+        self._epoch_min_rtt_ns: Optional[int] = None
         self._epoch_end_seq = 0       # Ack seq that ends the epoch.
         self._rtt_count = 0
         self._slow_start_toggle = False
@@ -92,6 +96,6 @@ class Vegas(CongestionControl):
         self.clamp()
 
     @property
-    def base_rtt_ns(self):
+    def base_rtt_ns(self) -> Optional[int]:
         """The minimum RTT observed so far (None before first sample)."""
         return self._base_rtt_ns

@@ -1,0 +1,93 @@
+"""Runtime invariant checkers and their wiring into the engine."""
+
+import pytest
+
+from repro.analysis import (InvariantViolation, require, require_int_ns,
+                            unwrap)
+from repro.netsim.engine import Simulator
+
+
+# -- the helpers themselves ----------------------------------------------------
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(InvariantViolation, match="broke"):
+        require(False, "broke")
+
+
+def test_invariant_violation_is_an_assertion_error():
+    assert issubclass(InvariantViolation, AssertionError)
+
+
+def test_unwrap_returns_value():
+    assert unwrap(5) == 5
+    assert unwrap("x", "missing") == "x"
+    assert unwrap(0) == 0  # Falsy but not None.
+
+
+def test_unwrap_raises_on_none():
+    with pytest.raises(InvariantViolation, match="no rng"):
+        unwrap(None, "no rng")
+
+
+def test_require_int_ns_accepts_ints():
+    assert require_int_ns(0, "delay") == 0
+    assert require_int_ns(10**12, "delay") == 10**12
+
+
+def test_require_int_ns_rejects_float():
+    with pytest.raises(InvariantViolation, match="delay_ns"):
+        require_int_ns(1.5, "delay_ns")
+
+
+def test_require_int_ns_rejects_whole_float():
+    # Even a representable whole float is rejected: upstream arithmetic
+    # that produced it will eventually produce 1333333.3333.
+    with pytest.raises(InvariantViolation):
+        require_int_ns(1000.0, "delay_ns")
+
+
+def test_require_int_ns_rejects_bool():
+    with pytest.raises(InvariantViolation, match="bool"):
+        require_int_ns(True, "delay_ns")
+
+
+def test_require_int_ns_message_names_the_site():
+    with pytest.raises(InvariantViolation, match="run.. until_ns"):
+        require_int_ns(0.5, "run() until_ns")
+
+
+# -- engine wiring: the integer-ns clock contract is enforced ------------------
+
+def test_schedule_rejects_float_delay():
+    sim = Simulator()
+    with pytest.raises(InvariantViolation):
+        sim.schedule(1.5, lambda: None)
+
+
+def test_schedule_at_rejects_float_time():
+    sim = Simulator()
+    with pytest.raises(InvariantViolation):
+        sim.schedule_at(2e9, lambda: None)
+
+
+def test_run_rejects_float_until():
+    sim = Simulator()
+    with pytest.raises(InvariantViolation):
+        sim.run(until_ns=0.5)
+
+
+def test_schedule_rejects_bool_delay():
+    sim = Simulator()
+    with pytest.raises(InvariantViolation):
+        sim.schedule(True, lambda: None)
+
+
+def test_integer_schedule_still_works():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append(sim.now_ns))
+    sim.schedule_at(10, lambda: fired.append(sim.now_ns))
+    sim.run(until_ns=20)
+    assert fired == [5, 10]
+    assert sim.now_ns == 20

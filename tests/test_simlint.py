@@ -1,0 +1,344 @@
+"""simlint: per-rule must-flag / must-pass fixtures, suppression
+semantics, CLI behaviour, and the self-check that the repository's own
+sources are clean."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.rules import CHECKER_RULE_IDS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SIMLINT = REPO_ROOT / "tools" / "simlint.py"
+
+
+def findings_for(source, rule_id=None):
+    found = lint_source(textwrap.dedent(source), path="fixture.py")
+    if rule_id is None:
+        return found
+    return [f for f in found if f.rule_id == rule_id]
+
+
+def rule_ids(source):
+    return {f.rule_id for f in findings_for(source)}
+
+
+# -- D101: builtin hash() ------------------------------------------------------
+
+def test_d101_flags_builtin_hash():
+    found = findings_for("""
+        def bucket(flow, n):
+            return hash(flow) % n
+    """, "D101")
+    assert len(found) == 1
+    assert found[0].line == 3
+
+
+def test_d101_flags_the_pr1_fq_codel_bug():
+    # The exact shape of the hash-bucketing bug fixed in PR 1: builtin
+    # hash() of a FlowId varies per process under PYTHONHASHSEED.
+    found = findings_for("""
+        class FqCoDelQueueDisc:
+            def _bucket(self, flow):
+                return hash(flow) % self.num_queues
+    """, "D101")
+    assert len(found) == 1
+
+
+def test_d101_passes_stable_hash():
+    assert not findings_for("""
+        def bucket(flow, n):
+            return flow.stable_hash() % n
+    """, "D101")
+
+
+# -- D102: unseeded randomness -------------------------------------------------
+
+def test_d102_flags_global_random():
+    assert findings_for("""
+        import random
+
+        def jitter():
+            return random.random()
+    """, "D102")
+
+
+def test_d102_flags_unseeded_constructor():
+    assert findings_for("""
+        import random
+
+        rng = random.Random()
+    """, "D102")
+
+
+def test_d102_passes_seeded_constructor():
+    assert not findings_for("""
+        import random
+
+        rng = random.Random(42)
+
+        def jitter():
+            return rng.random()
+    """, "D102")
+
+
+# -- D103: wall-clock reads ----------------------------------------------------
+
+def test_d103_flags_wall_clock():
+    source = """
+        import time
+
+        def now():
+            return time.time()
+    """
+    assert findings_for(source, "D103")
+
+
+def test_d103_flags_monotonic_without_allow():
+    assert findings_for("""
+        import time
+
+        def stamp():
+            return time.monotonic()
+    """, "D103")
+
+
+def test_d103_respects_allow_comment():
+    found = findings_for("""
+        import time
+
+        def stamp():
+            return time.monotonic()  # simlint: allow[D103] CLI timer
+    """)
+    assert not [f for f in found if f.rule_id == "D103"]
+
+
+# -- D104: set iteration order -------------------------------------------------
+
+def test_d104_flags_for_over_set():
+    assert findings_for("""
+        def drop(active):
+            finished = set()
+            for flow in finished & active:
+                del active[flow]
+    """, "D104")
+
+
+def test_d104_flags_annotated_set_param():
+    assert findings_for("""
+        from typing import Set
+
+        def drop(active, finished: Set[int]):
+            for flow in finished:
+                del active[flow]
+    """, "D104")
+
+
+def test_d104_flags_list_of_set():
+    assert findings_for("""
+        def order(flows):
+            tracked = set(flows)
+            return list(tracked)
+    """, "D104")
+
+
+def test_d104_passes_sorted_and_aggregates():
+    assert not findings_for("""
+        def order(flows):
+            tracked = set(flows)
+            total = sum(tracked)
+            return sorted(tracked), total, len(tracked), max(tracked)
+    """, "D104")
+
+
+# -- U201: float into the integer-ns clock -------------------------------------
+
+def test_u201_flags_float_delay():
+    assert findings_for("""
+        def arm(sim, rtt_ns):
+            sim.schedule(rtt_ns * 1.5, lambda: None)
+    """, "U201")
+
+
+def test_u201_flags_true_division_into_ns():
+    assert findings_for("""
+        def half(interval_ns):
+            next_ns = interval_ns / 2
+            return next_ns
+    """, "U201")
+
+
+def test_u201_passes_int_cleansed():
+    assert not findings_for("""
+        def arm(sim, rtt_ns):
+            sim.schedule(int(rtt_ns * 1.5), lambda: None)
+            next_ns = interval_ns // 2
+    """, "U201")
+
+
+# -- U202: unit-suffix mismatches ----------------------------------------------
+
+def test_u202_flags_suffix_mismatch():
+    assert findings_for("""
+        def configure(run):
+            run(timeout_ns=duration_seconds)
+    """, "U202")
+
+
+def test_u202_passes_matching_suffixes():
+    assert not findings_for("""
+        def configure(run):
+            run(timeout_ns=duration_ns, budget_seconds=limit_seconds)
+    """, "U202")
+
+
+# -- H301: mutable defaults ----------------------------------------------------
+
+def test_h301_flags_mutable_default():
+    assert findings_for("""
+        def collect(items=[]):
+            return items
+    """, "H301")
+
+
+def test_h301_passes_none_default():
+    assert not findings_for("""
+        def collect(items=None):
+            return items or []
+    """, "H301")
+
+
+# -- H302: shadowed module names -----------------------------------------------
+
+def test_h302_flags_shadowed_module_def():
+    assert findings_for("""
+        import random
+
+        def roll():
+            random = 3
+            return random
+    """, "H302")
+
+
+# -- suppression hygiene -------------------------------------------------------
+
+def test_s901_requires_a_reason():
+    found = findings_for("""
+        import time
+
+        def stamp():
+            return time.time()  # simlint: allow[D103]
+    """)
+    ids = {f.rule_id for f in found}
+    assert "S901" in ids
+    assert "D103" not in ids  # Suppression still applies.
+
+
+def test_s902_flags_stale_suppression():
+    found = findings_for("""
+        def quiet():
+            return 1  # simlint: allow[D101] historical reasons
+    """)
+    assert {f.rule_id for f in found} == {"S902"}
+
+
+def test_select_skips_suppression_hygiene():
+    found = lint_source(
+        "x = 1  # simlint: allow[D101] nothing here\n",
+        path="fixture.py", select={"D103"})
+    assert found == []
+
+
+# -- E901 ----------------------------------------------------------------------
+
+def test_e901_on_syntax_error():
+    found = findings_for("def broken(:\n")
+    assert [f.rule_id for f in found] == ["E901"]
+
+
+# -- catalog sanity ------------------------------------------------------------
+
+def test_every_checker_rule_has_a_must_flag_fixture():
+    # Each D/U/H rule above has at least one must-flag case; this test
+    # pins the catalog so adding a rule without a fixture fails loudly.
+    assert set(CHECKER_RULE_IDS) == {
+        "D101", "D102", "D103", "D104", "U201", "U202", "H301", "H302"}
+
+
+def test_rules_have_ids_hints_and_series():
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.hint
+        assert rule.series in "DUHSE"
+
+
+# -- the repository's own sources are clean ------------------------------------
+
+def test_self_check_src_is_clean():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# -- CLI behaviour -------------------------------------------------------------
+
+def run_cli(args, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(SIMLINT), *args],
+        capture_output=True, text=True, cwd=cwd or str(REPO_ROOT))
+
+
+def test_cli_exit_zero_on_clean_tree():
+    result = run_cli(["src"])
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 findings" in result.stdout
+
+
+def test_cli_exit_one_with_rule_ids_on_dirty_file(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(textwrap.dedent("""\
+        import time
+
+        def bucket(flow, n, mutable=[]):
+            stamp = time.time()
+            return hash(flow) % n
+    """))
+    result = run_cli([str(dirty)])
+    assert result.returncode == 1
+    for rule_id in ("D101", "D103", "H301"):
+        assert rule_id in result.stdout
+
+
+def test_cli_json_mode(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(flow):\n    return hash(flow)\n")
+    result = run_cli(["--json", str(dirty)])
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload[0]["rule"] == "D101"
+    assert payload[0]["line"] == 2
+    assert payload[0]["hint"]
+
+
+def test_cli_rejects_unknown_select():
+    result = run_cli(["--select", "D999", "src"])
+    assert result.returncode == 2
+
+
+def test_cli_list_rules():
+    result = run_cli(["--list-rules"])
+    assert result.returncode == 0
+    for rule_id in CHECKER_RULE_IDS:
+        assert rule_id in result.stdout
+
+
+def test_cebinae_repro_lint_subcommand(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(flow):\n    return hash(flow)\n")
+    from repro.experiments.cli import main
+    assert main(["lint", str(dirty)]) == 1
+    assert main(["lint", "--select", "D102", str(dirty)]) == 0

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Standalone entry point for simlint.
+
+Usage::
+
+    python tools/simlint.py src            # lint the source tree
+    python tools/simlint.py --list-rules   # show the rule catalog
+    python tools/simlint.py --json src     # machine-readable (CI)
+
+Equivalent to ``cebinae-repro lint``; this wrapper only ensures
+``repro`` is importable when the package is not installed.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.cli import main
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                           / "src"))
+    from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())
