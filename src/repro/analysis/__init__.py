@@ -9,12 +9,13 @@
 """
 
 from .invariants import (InvariantViolation, require, require_int_ns,
-                         unwrap)
+                         set_debug, unwrap)
 from .linter import Finding, lint_paths, lint_source
 from .rules import RULES, Rule
 
 __all__ = [
     "Finding", "lint_source", "lint_paths",
     "Rule", "RULES",
-    "InvariantViolation", "require", "require_int_ns", "unwrap",
+    "InvariantViolation", "require", "require_int_ns", "set_debug",
+    "unwrap",
 ]

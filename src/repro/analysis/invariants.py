@@ -10,13 +10,56 @@ They are dependency-free on purpose: the simulation engine imports
 :func:`require_int_ns` on its hot path, and the TCP stack uses
 :func:`unwrap` to discharge ``Optional`` state whose presence is
 guaranteed by the CCA state machines.
+
+Validation-only checkers are *debug-gated*: the engine consults the
+module-level :data:`DEBUG` flag before calling :func:`require_int_ns`
+per event, so release runs pay zero per-event validation cost.  The
+flag defaults on under pytest (the whole suite runs with the contract
+armed) and off otherwise; ``REPRO_DEBUG=1`` / ``REPRO_DEBUG=0`` in the
+environment overrides both.  Gating never changes simulation results —
+the checkers either raise or do nothing — which
+``tests/test_scheduler_equivalence.py`` pins down by replaying a
+scenario under both settings.
+
+:func:`unwrap` and :func:`require` are *not* gated: their return value
+and raise are part of normal control flow, not optional validation.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from typing import Optional, TypeVar
 
 T = TypeVar("T")
+
+
+def _default_debug() -> bool:
+    """Initial value of :data:`DEBUG`.
+
+    ``REPRO_DEBUG`` wins when set; otherwise debug is armed exactly
+    when pytest is driving the process (imported before us), so tests
+    always exercise the validated path and production sweeps never pay
+    for it.
+    """
+    env = os.environ.get("REPRO_DEBUG")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    return "pytest" in sys.modules or "PYTEST_CURRENT_TEST" in os.environ
+
+
+#: Whether per-event validation (``require_int_ns`` at the engine's
+#: schedule sites) is armed.  Reassign (or monkeypatch) at runtime to
+#: toggle; read dynamically by the engine on every schedule call.
+DEBUG: bool = _default_debug()
+
+
+def set_debug(enabled: bool) -> bool:
+    """Set :data:`DEBUG`, returning the previous value."""
+    global DEBUG
+    previous = DEBUG
+    DEBUG = enabled
+    return previous
 
 
 class InvariantViolation(AssertionError):

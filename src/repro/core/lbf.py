@@ -55,6 +55,17 @@ class LeakyBucketFilter:
     def __init__(self, params: CebinaeParams, capacity_bps: float) -> None:
         self.params = params
         self.capacity_bytes_per_sec = capacity_bps / 8.0
+        # Derived constants, hoisted off the per-packet admit path.
+        # CebinaeParams is frozen, so these cannot go stale; each is
+        # computed with the exact expression the admit path used
+        # inline, keeping admission decisions bit-identical.
+        self._dt_ns = params.dt_ns
+        self._vdt_ns = params.vdt_ns
+        self._two_dt_ns = 2 * params.dt_ns
+        self._dt_sec = params.dt_ns / SECOND
+        self._rounds_per_dt = params.dt_ns // params.vdt_ns
+        self._capacity_dt_bytes = \
+            self.capacity_bytes_per_sec * params.dt_ns / SECOND
         self.headq = 0
         self.base_round_time_ns = 0
         self.round_time_ns = 0
@@ -75,15 +86,15 @@ class LeakyBucketFilter:
 
     # -- helpers -----------------------------------------------------------
     def _advance_virtual_round(self, now_ns: int) -> None:
-        vdt = self.params.vdt_ns
+        vdt = self._vdt_ns
         if now_ns >= self.round_time_ns + vdt:
             self.round_time_ns = now_ns - (now_ns % vdt)
 
     def _aggregate_size(self, rate_head: float, rate_tail: float) -> float:
         """Credit line: bytes allowed by now at the allocated rates."""
-        vdt = self.params.vdt_ns
-        dt = self.params.dt_ns
-        rounds_per_dt = dt // vdt
+        vdt = self._vdt_ns
+        dt = self._dt_ns
+        rounds_per_dt = self._rounds_per_dt
         relative_round = (self.round_time_ns
                           - self.base_round_time_ns) // vdt
         if relative_round < rounds_per_dt:
@@ -113,7 +124,7 @@ class LeakyBucketFilter:
         aggregate = self._aggregate_size(rate_head, rate_tail)
         level = max(self.bytes[group], aggregate) + size_bytes
         self.bytes[group] = level
-        dt_sec = self.params.dt_ns / SECOND
+        dt_sec = self._dt_sec
         past_head = level - rate_head * dt_sec
         past_tail = past_head - rate_tail * dt_sec
         if past_head <= 0:
@@ -126,13 +137,11 @@ class LeakyBucketFilter:
         """The unsaturated-phase filter over all traffic at capacity."""
         self._advance_virtual_round(now_ns)
         capacity = self.capacity_bytes_per_sec
-        vdt = self.params.vdt_ns
         relative_ns = self.round_time_ns - self.base_round_time_ns
-        aggregate = capacity * min(relative_ns,
-                                   2 * self.params.dt_ns) / SECOND
+        aggregate = capacity * min(relative_ns, self._two_dt_ns) / SECOND
         level = max(self.total_bytes, aggregate) + size_bytes
         self.total_bytes = level
-        dt_bytes = capacity * self.params.dt_ns / SECOND
+        dt_bytes = self._capacity_dt_bytes
         if level - dt_bytes <= 0:
             return LbfDecision.HEAD
         if level - 2 * dt_bytes <= 0:
@@ -150,7 +159,7 @@ class LeakyBucketFilter:
         the Equation (2) bound and becomes the new ``¬headq``, eligible
         for a rate update during the control window.
         """
-        dt_sec = self.params.dt_ns / SECOND
+        dt_sec = self._dt_sec
         for group in FlowGroup:
             last_rate = self.rates[self.headq][group]
             self.bytes[group] = max(

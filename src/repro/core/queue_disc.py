@@ -95,8 +95,9 @@ class CebinaeQueueDisc(QueueDisc):
             if self.params.ecn_marking and packet.mark_ce():
                 self.ecn_marks += 1
         queue_index = self.lbf.queue_for(decision)
-        was_empty = self._empty()
-        self._queues[queue_index].append(packet)
+        queues = self._queues
+        was_empty = not (queues[0] or queues[1])
+        queues[queue_index].append(packet)
         self._queue_bytes[queue_index] += packet.size_bytes
         if was_empty:
             self.notify_waker()
@@ -112,14 +113,17 @@ class CebinaeQueueDisc(QueueDisc):
         work-conserving — a group may exceed its allocation whenever the
         other group leaves the link idle.
         """
+        queues = self._queues
         head = self.lbf.headq
-        for queue_index in (head, 1 - head):
-            queue: Deque[Packet] = self._queues[queue_index]
-            if queue:
-                packet = queue.popleft()
-                self._queue_bytes[queue_index] -= packet.size_bytes
-                return packet
-        return None
+        queue: Deque[Packet] = queues[head]
+        if not queue:
+            head = 1 - head
+            queue = queues[head]
+            if not queue:
+                return None
+        packet = queue.popleft()
+        self._queue_bytes[head] -= packet.size_bytes
+        return packet
 
     # -- egress path ---------------------------------------------------------------
     def on_transmit(self, packet: Packet) -> None:

@@ -142,9 +142,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore cached results and re-simulate "
                              "every point")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulator hot path: "
+                             "per-component event counts, events/sec "
+                             "and the sim/wall ratio (in-process "
+                             "runs only; use --workers 1)")
+    parser.add_argument("--profile-json", metavar="PATH",
+                        help="also write the profile to PATH in the "
+                             "BENCH_*.json (pytest-benchmark) shape")
     args = parser.parse_args(argv)
     names = [name for name in EXPERIMENTS if name != "all"] \
         if args.experiment == "all" else [args.experiment]
+    profiler = None
+    if args.profile or args.profile_json:
+        from ..netsim import profiling
+        profiler = profiling.enable()
+        if args.workers > 1:
+            print("note: --profile observes in-process simulations "
+                  "only; points run by pool workers are not counted "
+                  "(use --workers 1 for full coverage)")
     for name in names:
         # Host-side progress timing, not simulation time.  Monotonic,
         # because time.time() can step backwards under NTP and print a
@@ -157,6 +173,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              use_cache=not args.no_cache))
         elapsed = time.monotonic() - start  # simlint: allow[D103] CLI timer
         print(f"[{name}: {elapsed:.1f}s]\n")
+    if profiler is not None:
+        from ..netsim import profiling
+        profiling.disable()
+        profile = profiler.report()
+        print(profile.format_text())
+        if args.profile_json:
+            profiling.write_bench_json(
+                args.profile_json,
+                name=f"cebinae-repro {args.experiment}",
+                report=profile)
+            print(f"[profile written to {args.profile_json}]")
     return 0
 
 

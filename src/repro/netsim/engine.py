@@ -12,15 +12,42 @@ Typical use::
     sim = Simulator()
     sim.schedule(MILLISECOND, callback, arg1, arg2)
     sim.run(until_ns=10 * SECOND)
+
+Two interchangeable scheduler backends order the pending events
+(ns-3-style, selectable per simulator or via ``REPRO_SCHEDULER``):
+
+* :class:`HeapScheduler` (default) — one binary heap of
+  ``(time_ns, seq, event)`` tuples.  Tuple entries keep comparisons in
+  C (int compares) instead of calling a Python ``__lt__`` per sift.
+* :class:`CalendarScheduler` — a classic calendar queue (Brown 1988),
+  the structure Cebinae's own LBF is modelled on: a ring of day-buckets
+  of width ``bucket_width_ns``, giving O(1) amortised insert/extract
+  when event times are roughly uniform, as packet departures are.
+
+Both backends execute the exact same ``(time_ns, seq)`` sequence —
+nondecreasing time, FIFO among ties — which
+``tests/test_scheduler_equivalence.py`` proves by replaying random
+workloads through each and comparing the traces.
+
+Per-event argument validation (:func:`repro.analysis.invariants
+.require_int_ns`) is debug-gated: it runs when
+``repro.analysis.invariants.DEBUG`` is on (always under pytest, or with
+``REPRO_DEBUG=1``) and is skipped entirely in release runs, which pay
+zero validation cost per event without weakening the determinism
+contract — all times are ints either way; debug merely *proves* it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+import os
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
+                    Type, Union)
 
+from ..analysis import invariants
 from ..analysis.invariants import require_int_ns
+from . import profiling
 
 #: One nanosecond, the base time unit of the engine.
 NANOSECOND = 1
@@ -50,8 +77,8 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and may be
-    cancelled.  Cancelled events stay in the heap but are skipped when
-    they surface, which keeps cancellation O(1).
+    cancelled.  Cancelled events stay in the scheduler but are skipped
+    when they surface, which keeps cancellation O(1).
     """
 
     __slots__ = ("time_ns", "seq", "callback", "args", "cancelled")
@@ -71,6 +98,8 @@ class Event:
 
     def __lt__(self, other: "Event") -> bool:
         # Ties broken by insertion order so the schedule is deterministic.
+        # (Schedulers compare (time_ns, seq) tuples and never reach this;
+        # kept for code that sorts Events directly.)
         return (self.time_ns, self.seq) < (other.time_ns, other.seq)
 
     def __repr__(self) -> str:
@@ -78,11 +107,188 @@ class Event:
         return f"Event(t={self.time_ns}ns, {state}, {self.callback!r})"
 
 
-class Simulator:
-    """An event-driven simulator with an integer-nanosecond clock."""
+#: A scheduler entry.  The (time_ns, seq) prefix is the total order;
+#: the Event itself is never compared because the prefix is unique.
+Entry = Tuple[int, int, Event]
+
+
+class EventScheduler:
+    """Interface of a pending-event set with a total (time, seq) order.
+
+    ``pop`` must return entries in nondecreasing ``(time_ns, seq)``
+    order; ``push`` may be called with any entry whose time is >= the
+    last popped time (simulation time is monotonic).  Cancellation is
+    handled by the :class:`Simulator`, which skips entries whose event
+    has ``cancelled`` set.
+    """
+
+    __slots__ = ()
+
+    def push(self, entry: Entry) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimal entry, or None when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HeapScheduler(EventScheduler):
+    """A binary heap of tuple entries (the default backend)."""
+
+    __slots__ = ("_heap",)
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Optional[Entry]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarScheduler(EventScheduler):
+    """A calendar queue (Brown 1988), as in ns-3's ``CalendarScheduler``.
+
+    Entries hash into a ring of day-buckets by
+    ``(time // width) % num_buckets``; each bucket is a small heap.  A
+    pop scans one calendar year starting at the current day and takes
+    the first head event that falls inside its bucket's window — which
+    the monotonic-time contract makes the global minimum — falling back
+    to a direct min-of-heads search when the year is empty (sparse
+    horizon).  The ring doubles/halves around the occupancy band
+    [n/2, 2n] and re-derives the bucket width from the observed event
+    spacing, so both dense packet bursts and sparse control timers stay
+    O(1) amortised.
+    """
+
+    __slots__ = ("_buckets", "_width", "_size", "_last_time_ns",
+                 "_min_buckets")
+
+    def __init__(self, bucket_width_ns: int = 64 * MICROSECOND,
+                 num_buckets: int = 64) -> None:
+        if bucket_width_ns <= 0:
+            raise ValueError("bucket width must be positive")
+        if num_buckets <= 0:
+            raise ValueError("bucket count must be positive")
+        self._width = bucket_width_ns
+        self._buckets: List[List[Entry]] = [[] for _ in range(num_buckets)]
+        self._size = 0
+        self._last_time_ns = 0
+        self._min_buckets = num_buckets
+
+    def push(self, entry: Entry) -> None:
+        buckets = self._buckets
+        heapq.heappush(buckets[(entry[0] // self._width) % len(buckets)],
+                       entry)
+        self._size += 1
+        if self._size > 2 * len(buckets):
+            self._rebuild(2 * len(buckets))
+
+    def pop(self) -> Optional[Entry]:
+        if not self._size:
+            return None
+        buckets = self._buckets
+        count = len(buckets)
+        width = self._width
+        day = self._last_time_ns // width
+        start = day % count
+        window_end = (day + 1) * width
+        entry: Optional[Entry] = None
+        for offset in range(count):
+            bucket = buckets[(start + offset) % count]
+            # Eligible = the head lands inside this bucket's window of
+            # the current year; earlier buckets' windows end sooner, so
+            # the first hit is the global minimum.
+            if bucket and bucket[0][0] < window_end:
+                entry = heapq.heappop(bucket)
+                break
+            window_end += width
+        if entry is None:
+            # Nothing due this year: jump straight to the minimal head.
+            best = -1
+            for index, bucket in enumerate(buckets):
+                if bucket and (best < 0 or bucket[0] < buckets[best][0]):
+                    best = index
+            entry = heapq.heappop(buckets[best])
+        self._size -= 1
+        self._last_time_ns = entry[0]
+        if (self._size < len(self._buckets) // 2
+                and len(self._buckets) > self._min_buckets):
+            self._rebuild(max(self._min_buckets,
+                              len(self._buckets) // 2))
+        return entry
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _rebuild(self, num_buckets: int) -> None:
+        entries: List[Entry] = []
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        entries.sort()
+        self._width = self._choose_width(entries)
+        buckets: List[List[Entry]] = [[] for _ in range(num_buckets)]
+        width = self._width
+        for entry in entries:
+            # Appended in sorted order, so each bucket list is already a
+            # valid min-heap.
+            buckets[(entry[0] // width) % num_buckets].append(entry)
+        self._buckets = buckets
+
+    def _choose_width(self, entries: List[Entry]) -> int:
+        """Bucket width ~= a few average inter-event gaps (sorted input)."""
+        sample = entries[:64]
+        if len(sample) < 2:
+            return self._width
+        span = sample[-1][0] - sample[0][0]
+        if span <= 0:
+            return self._width
+        return max(1, (3 * span) // (len(sample) - 1))
+
+
+#: Scheduler registry for string selection (ns-3-style).
+SCHEDULERS: Dict[str, Type[EventScheduler]] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+
+def make_scheduler(name: str) -> EventScheduler:
+    """Instantiate a scheduler backend by registry name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{sorted(SCHEDULERS)}") from None
+
+
+class Simulator:
+    """An event-driven simulator with an integer-nanosecond clock.
+
+    ``scheduler`` selects the pending-event backend: a registry name
+    (``"heap"``/``"calendar"``), an :class:`EventScheduler` instance,
+    or None to honour the ``REPRO_SCHEDULER`` environment variable
+    (default ``heap``).  All backends execute the identical event
+    sequence; the choice is purely a performance knob.
+    """
+
+    def __init__(self,
+                 scheduler: Union[str, EventScheduler, None] = None) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER", "heap")
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self._scheduler: EventScheduler = scheduler
         self._seq: Iterator[int] = itertools.count()
         self._now_ns = 0
         self._running = False
@@ -103,42 +309,63 @@ class Simulator:
         """The number of events executed so far (for diagnostics)."""
         return self._processed
 
+    @property
+    def scheduler(self) -> EventScheduler:
+        """The active scheduler backend."""
+        return self._scheduler
+
     def schedule(self, delay_ns: int, callback: Callable[..., None],
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
-        require_int_ns(delay_ns, "schedule() delay_ns")
+        if invariants.DEBUG:
+            require_int_ns(delay_ns, "schedule() delay_ns")
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
-        return self.schedule_at(self._now_ns + delay_ns, callback, *args)
+        time_ns = self._now_ns + delay_ns
+        seq = next(self._seq)
+        event = Event(time_ns, seq, callback, args)
+        self._scheduler.push((time_ns, seq, event))
+        return event
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None],
                     *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
-        require_int_ns(time_ns, "schedule_at() time_ns")
+        if invariants.DEBUG:
+            require_int_ns(time_ns, "schedule_at() time_ns")
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, now is {self._now_ns}ns")
-        event = Event(time_ns, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time_ns, seq, callback, args)
+        self._scheduler.push((time_ns, seq, event))
         return event
 
     def peek_time_ns(self) -> Optional[int]:
-        """The time of the next pending event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_ns if self._heap else None
+        """The time of the next pending event, or None if none remain."""
+        scheduler = self._scheduler
+        while True:
+            entry = scheduler.pop()
+            if entry is None:
+                return None
+            if entry[2].cancelled:
+                continue
+            scheduler.push(entry)
+            return entry[0]
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        scheduler = self._scheduler
+        while True:
+            entry = scheduler.pop()
+            if entry is None:
+                return False
+            event = entry[2]
             if event.cancelled:
                 continue
-            self._now_ns = event.time_ns
+            self._now_ns = entry[0]
             self._processed += 1
             event.callback(*event.args)
             return True
-        return False
 
     def run(self, until_ns: Optional[int] = None,
             max_events: Optional[int] = None) -> None:
@@ -155,23 +382,46 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         if until_ns is not None:
             # A float here would be silently written into the clock on
-            # return, poisoning every later timestamp.
+            # return, poisoning every later timestamp.  (Always checked:
+            # this is once per run, not per event.)
             require_int_ns(until_ns, "run() until_ns")
         self._running = True
+        profiler = profiling.current()
+        record = profiler.record if profiler is not None else None
+        wall_start = profiling.monotonic() if profiler is not None else 0.0
+        start_ns = self._now_ns
+        # The inner loop below is the simulator's hot path: one pop, one
+        # cancelled check, two int compares and the callback per event.
+        scheduler = self._scheduler
+        pop = scheduler.pop
         executed = 0
         try:
             while True:
-                next_time = self.peek_time_ns()
-                if next_time is None:
+                entry = pop()
+                if entry is None:
                     break
-                if until_ns is not None and next_time > until_ns:
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                time_ns = entry[0]
+                if until_ns is not None and time_ns > until_ns:
+                    scheduler.push(entry)
                     break
                 if max_events is not None and executed >= max_events:
+                    scheduler.push(entry)
                     raise SimulationError(
                         f"exceeded max_events={max_events}")
-                self.step()
                 executed += 1
+                self._now_ns = time_ns
+                self._processed += 1
+                if record is not None:
+                    record(event.callback)
+                event.callback(*event.args)
             if until_ns is not None and until_ns > self._now_ns:
                 self._now_ns = until_ns
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.record_run(
+                    self._now_ns - start_ns,
+                    profiling.monotonic() - wall_start)

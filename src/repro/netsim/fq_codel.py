@@ -60,11 +60,15 @@ class CoDelState:
 class _FlowQueue:
     """One DRR flow queue with its CoDel state."""
 
-    __slots__ = ("packets", "deficit", "codel", "active", "is_new")
+    __slots__ = ("packets", "bytes", "deficit", "codel", "active",
+                 "is_new")
 
     def __init__(self, quantum: int, target_ns: int,
                  interval_ns: int) -> None:
         self.packets: Deque[Packet] = collections.deque()
+        # Maintained incrementally: summing per-packet sizes on demand
+        # made the overlimit fattest-queue search O(packets) per drop.
+        self.bytes = 0
         self.deficit = quantum
         self.codel = CoDelState(target_ns=target_ns, interval_ns=interval_ns)
         self.active = False
@@ -72,7 +76,7 @@ class _FlowQueue:
 
     @property
     def byte_length(self) -> int:
-        return sum(p.size_bytes for p in self.packets)
+        return self.bytes
 
 
 class FqCoDelQueue(QueueDisc):
@@ -119,7 +123,9 @@ class FqCoDelQueue(QueueDisc):
         packet.enqueue_time_ns = self.sim.now_ns
         key = self._bucket(packet.flow)
         queue = self._get_queue(key)
+        was_empty = self._packets == 0
         queue.packets.append(packet)
+        queue.bytes += packet.size_bytes
         self._packets += 1
         self._bytes += packet.size_bytes
         if not queue.active:
@@ -129,7 +135,9 @@ class FqCoDelQueue(QueueDisc):
             self._new_flows.append(key)
         if self._packets > self.limit_packets:
             self._drop_from_fattest()
-        if self._packets > 0:
+        # The link only sleeps when the disc is drained, so a waker
+        # call is only needed on the empty->non-empty edge.
+        if was_empty and self._packets > 0:
             self.notify_waker()
         return True
 
@@ -140,6 +148,7 @@ class FqCoDelQueue(QueueDisc):
         if fattest is None or not fattest.packets:
             return
         victim = fattest.packets.popleft()
+        fattest.bytes -= victim.size_bytes
         self._packets -= 1
         self._bytes -= victim.size_bytes
         self.overlimit_drops += 1
@@ -151,6 +160,7 @@ class FqCoDelQueue(QueueDisc):
         codel = queue.codel
         while queue.packets:
             packet = queue.packets.popleft()
+            queue.bytes -= packet.size_bytes
             self._packets -= 1
             self._bytes -= packet.size_bytes
             sojourn = now - packet.enqueue_time_ns

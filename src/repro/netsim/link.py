@@ -10,7 +10,7 @@ idle, which is the same service model as ns-3's
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .engine import SECOND, Simulator
 from .packet import Packet
@@ -39,9 +39,18 @@ class Link:
         self.name = name or f"{src.name}->{dst.name}"
         self._busy = False
         # Transmit-side counters (Cebinae's "egress pipeline" also hooks
-        # transmission; see CebinaeQueueDisc.on_transmit).
+        # transmission; see CebinaeQueueDisc.on_transmit).  The hook is
+        # a property of the queue's type, so it is resolved once here
+        # rather than with a getattr per transmitted packet.
         self.tx_packets = 0
         self.tx_bytes = 0
+        self._on_transmit: Optional[Callable[[Packet], None]] = \
+            getattr(queue, "on_transmit", None)
+        # Serialization delay depends only on packet size, and traffic
+        # is dominated by a handful of sizes (MTU, MSS boundaries, pure
+        # ACKs, ROTATE markers), so the round() per packet memoises
+        # into a tiny dict.
+        self._ser_delay_cache: Dict[int, int] = {}
         queue.set_waker(self._on_queue_ready)
 
     @property
@@ -51,7 +60,11 @@ class Link:
 
     def serialization_delay_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire."""
-        return int(round(size_bytes * 8 * SECOND / self.rate_bps))
+        cached = self._ser_delay_cache.get(size_bytes)
+        if cached is None:
+            cached = int(round(size_bytes * 8 * SECOND / self.rate_bps))
+            self._ser_delay_cache[size_bytes] = cached
+        return cached
 
     def send(self, packet: Packet) -> bool:
         """Offer a packet to this port.  Returns False if dropped."""
@@ -73,7 +86,7 @@ class Link:
     def _finish_transmission(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
-        hook = getattr(self.queue, "on_transmit", None)
+        hook = self._on_transmit
         if hook is not None:
             hook(packet)
         self.sim.schedule(self.delay_ns, self.dst.receive, packet, self)

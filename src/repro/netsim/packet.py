@@ -92,6 +92,10 @@ class Packet:
         cwr: TCP Congestion Window Reduced flag (sender -> receiver).
         enqueue_time_ns: stamped by queues for delay measurement (CoDel).
         meta: free-form annotations used by tracing and schedulers.
+            Allocated lazily on first access — the overwhelming
+            majority of packets (every DATA segment and ACK) never
+            carry annotations, and skipping the dict allocation is a
+            measurable win at millions of packets per run.
     """
 
     flow: FlowId
@@ -106,7 +110,22 @@ class Packet:
     cwr: bool = False
     sent_time_ns: int = 0
     enqueue_time_ns: int = 0
-    meta: Dict[str, Any] = field(default_factory=dict)
+    _meta: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        """Lazy annotation dict (created on first touch)."""
+        store = self._meta
+        if store is None:
+            store = {}
+            self._meta = store
+        return store
+
+    @property
+    def has_meta(self) -> bool:
+        """True if annotations exist, without forcing allocation."""
+        return bool(self._meta)
 
     def mark_ce(self) -> bool:
         """Set Congestion Experienced if the packet is ECN-capable.

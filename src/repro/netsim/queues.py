@@ -26,7 +26,14 @@ class QueueDisc:
     when no packet is ready.  Implementations must call
     :meth:`notify_waker` when a packet becomes available after the queue
     was empty, so that an idle link resumes transmission.
+
+    The base class uses ``__slots__`` (as do the built-in disciplines on
+    the per-packet path); subclasses are free to declare their own slots
+    or fall back to a ``__dict__``.
     """
+
+    __slots__ = ("_waker", "dropped_packets", "dropped_bytes",
+                 "__dict__")
 
     def __init__(self) -> None:
         self._waker: Optional[Callable[[], None]] = None
@@ -68,6 +75,8 @@ class DropTailQueue(QueueDisc):
     one applies.
     """
 
+    __slots__ = ("limit_packets", "limit_bytes", "_queue", "_bytes")
+
     def __init__(self, limit_packets: Optional[int] = None,
                  limit_bytes: Optional[int] = None) -> None:
         super().__init__()
@@ -83,22 +92,20 @@ class DropTailQueue(QueueDisc):
         """Build a queue holding ``mtus`` full-size packets, as Table 2."""
         return cls(limit_packets=None, limit_bytes=mtus * MTU_BYTES)
 
-    def _would_overflow(self, packet: Packet) -> bool:
-        if (self.limit_packets is not None
-                and len(self._queue) + 1 > self.limit_packets):
-            return True
-        if (self.limit_bytes is not None
-                and self._bytes + packet.size_bytes > self.limit_bytes):
-            return True
-        return False
-
     def enqueue(self, packet: Packet) -> bool:
-        if self._would_overflow(packet):
+        # The admission test is inlined: this runs once per packet per
+        # hop and a helper-call frame is measurable at that rate.
+        queue = self._queue
+        size = packet.size_bytes
+        if ((self.limit_packets is not None
+             and len(queue) >= self.limit_packets)
+                or (self.limit_bytes is not None
+                    and self._bytes + size > self.limit_bytes)):
             self.record_drop(packet)
             return False
-        was_empty = not self._queue
-        self._queue.append(packet)
-        self._bytes += packet.size_bytes
+        was_empty = not queue
+        queue.append(packet)
+        self._bytes += size
         if was_empty:
             self.notify_waker()
         return True

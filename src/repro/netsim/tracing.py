@@ -27,8 +27,9 @@ class TimeSeries:
         self._bins: Dict[int, float] = {}
 
     def add(self, time_ns: int, value: float) -> None:
-        self._bins[time_ns // self.bin_width_ns] = (
-            self._bins.get(time_ns // self.bin_width_ns, 0.0) + value)
+        index = time_ns // self.bin_width_ns
+        bins = self._bins
+        bins[index] = bins.get(index, 0.0) + value
 
     def bin_value(self, index: int) -> float:
         return self._bins.get(index, 0.0)

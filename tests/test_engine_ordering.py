@@ -3,14 +3,18 @@
 Deterministic replay — and with it the parallel executor's
 serial-equals-parallel guarantee — rests on the engine firing events
 in nondecreasing time order with FIFO tie-breaking by insertion
-sequence, regardless of heap internals or cancellations.  Hypothesis
-searches for batches that violate it.
+sequence, regardless of scheduler backend internals or cancellations.
+Hypothesis searches for batches that violate it, against both the
+binary-heap and calendar-queue backends.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.netsim.engine import Simulator
+
+SCHEDULER_NAMES = ["heap", "calendar"]
 
 # Small time range to force plenty of same-timestamp ties.
 EVENT_BATCH = st.lists(
@@ -19,10 +23,11 @@ EVENT_BATCH = st.lists(
     min_size=0, max_size=120)
 
 
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
 @settings(deadline=None, max_examples=200)
-@given(EVENT_BATCH)
-def test_events_fire_in_time_then_fifo_order(batch):
-    sim = Simulator()
+@given(batch=EVENT_BATCH)
+def test_events_fire_in_time_then_fifo_order(scheduler, batch):
+    sim = Simulator(scheduler=scheduler)
     fired = []
     events = []
     for index, (time_ns, cancel) in enumerate(batch):
@@ -45,11 +50,13 @@ def test_events_fire_in_time_then_fifo_order(batch):
     assert sim.processed_events == len(expected)
 
 
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
 @settings(deadline=None, max_examples=100)
-@given(EVENT_BATCH, st.integers(min_value=1, max_value=10))
-def test_ordering_holds_for_events_scheduled_mid_run(batch, delay):
+@given(batch=EVENT_BATCH, delay=st.integers(min_value=1, max_value=10))
+def test_ordering_holds_for_events_scheduled_mid_run(scheduler, batch,
+                                                     delay):
     """Events scheduled from inside callbacks obey the same order."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     firings = []  # (clock at firing, tag)
 
     def chain(tag):
@@ -71,13 +78,14 @@ def test_ordering_holds_for_events_scheduled_mid_run(batch, delay):
     assert sim.processed_events == len(firings) == 3 * live
 
 
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
 @settings(deadline=None, max_examples=100)
-@given(st.lists(st.integers(min_value=0, max_value=40),
-                min_size=0, max_size=80),
-       st.randoms(use_true_random=False))
-def test_cancellation_is_exact(times, rng):
+@given(times=st.lists(st.integers(min_value=0, max_value=40),
+                      min_size=0, max_size=80),
+       rng=st.randoms(use_true_random=False))
+def test_cancellation_is_exact(scheduler, times, rng):
     """Exactly the non-cancelled events fire, in stable-sort order."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     fired = []
     events = [sim.schedule_at(t, fired.append, i)
               for i, t in enumerate(times)]

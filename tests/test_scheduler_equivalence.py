@@ -1,0 +1,213 @@
+"""Order-equivalence harness for the scheduler backends.
+
+PR 3 made the pending-event set pluggable (binary heap vs calendar
+queue).  Deterministic replay only survives that if every backend
+executes the identical ``(time, seq)`` sequence — nondecreasing time,
+FIFO among ties, exact cancellation — under any workload.  Hypothesis
+drives both backends (plus adversarially tiny calendar configurations
+that force bucket wraparound and resizing) with the same program and
+compares the traces; scenario-level tests then pin down that scheduler
+choice and the ``REPRO_DEBUG`` gate never change a ``ScenarioResult``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import invariants
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+from repro.netsim.engine import (CalendarScheduler, HeapScheduler,
+                                 SCHEDULERS, SimulationError, Simulator,
+                                 make_scheduler)
+
+# Tight time range to force same-timestamp ties; tiny calendar
+# configurations to force year wraparound, the sparse-horizon fallback,
+# and grow/shrink rebuilds.
+EVENT_BATCH = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50),   # time_ns
+              st.booleans(),                            # cancelled?
+              st.integers(min_value=0, max_value=3)),   # children
+    min_size=0, max_size=80)
+
+SCHEDULER_FACTORIES = [
+    ("heap", HeapScheduler),
+    ("calendar", CalendarScheduler),
+    ("calendar-tiny", lambda: CalendarScheduler(bucket_width_ns=3,
+                                                num_buckets=2)),
+    ("calendar-wide", lambda: CalendarScheduler(bucket_width_ns=10 ** 9,
+                                                num_buckets=4)),
+]
+
+
+def _execute(batch, scheduler):
+    """Run one program, returning the (now_ns, tag) firing trace."""
+    sim = Simulator(scheduler=scheduler)
+    trace = []
+
+    def fire(tag, children, spacing):
+        trace.append((sim.now_ns, tag))
+        for child in range(children):
+            event = sim.schedule(spacing + child, fire,
+                                 (tag, child), 0, spacing)
+            if (child + spacing) % 3 == 0:  # Deterministic mid-run cancel.
+                event.cancel()
+
+    events = []
+    for tag, (time_ns, cancel, children) in enumerate(batch):
+        events.append(sim.schedule_at(time_ns, fire, tag, children,
+                                      time_ns % 5 + 1))
+        if cancel:
+            events[-1].cancel()
+    sim.run()
+    return trace
+
+
+@settings(deadline=None, max_examples=150)
+@given(EVENT_BATCH)
+def test_all_backends_execute_identical_sequences(batch):
+    reference = _execute(batch, HeapScheduler())
+    for name, factory in SCHEDULER_FACTORIES[1:]:
+        assert _execute(batch, factory()) == reference, name
+
+
+@settings(deadline=None, max_examples=100)
+@given(EVENT_BATCH)
+def test_calendar_matches_stable_sort_contract(batch):
+    """The calendar backend independently satisfies the time/FIFO order."""
+    sim = Simulator(scheduler=CalendarScheduler(bucket_width_ns=5,
+                                                num_buckets=3))
+    fired = []
+    events = []
+    for index, (time_ns, cancel, _children) in enumerate(batch):
+        events.append((sim.schedule_at(time_ns, fired.append, index),
+                       time_ns, cancel))
+    for event, _, cancel in events:
+        if cancel:
+            event.cancel()
+    sim.run()
+    live = [(time_ns, index)
+            for index, (_, time_ns, cancel) in enumerate(events)
+            if not cancel]
+    expected = [index for _, index in
+                sorted(live, key=lambda pair: pair[0])]
+    assert fired == expected
+
+
+class TestSchedulerSelection:
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {"heap", "calendar"}
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            Simulator(scheduler="splay")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert isinstance(Simulator().scheduler, CalendarScheduler)
+        monkeypatch.delenv("REPRO_SCHEDULER")
+        assert isinstance(Simulator().scheduler, HeapScheduler)
+
+    def test_instance_passes_through(self):
+        backend = CalendarScheduler(bucket_width_ns=10, num_buckets=8)
+        assert Simulator(scheduler=backend).scheduler is backend
+
+    def test_calendar_rejects_degenerate_config(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(bucket_width_ns=0)
+        with pytest.raises(ValueError):
+            CalendarScheduler(num_buckets=0)
+
+
+# -- scenario-level parity: backends and debug gating --------------------------
+
+TINY_POLICY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def _tiny_result(**kwargs):
+    spec = ScenarioSpec(name="sched_eq", rate_bps=100e6, rtts_ms=(20, 30),
+                        buffer_mtus=60,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=1.5)
+    scaled = TINY_POLICY.apply(spec)
+    return run_scenario(scaled, Discipline.CEBINAE, collect_series=True,
+                        **kwargs)
+
+
+def _result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestScenarioParity:
+    def test_calendar_scheduler_reproduces_heap_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        heap_run = _tiny_result()
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        calendar_run = _tiny_result()
+        assert _result_json(calendar_run) == _result_json(heap_run)
+        assert calendar_run == heap_run
+
+    def test_debug_on_off_reproduce_identically(self, monkeypatch):
+        monkeypatch.setattr(invariants, "DEBUG", True)
+        debug_run = _tiny_result()
+        monkeypatch.setattr(invariants, "DEBUG", False)
+        release_run = _tiny_result()
+        assert _result_json(release_run) == _result_json(debug_run)
+        assert release_run == debug_run
+
+    def test_debug_off_calendar_matches_debug_on_heap(self, monkeypatch):
+        """The two knobs compose without perturbing results."""
+        monkeypatch.setattr(invariants, "DEBUG", True)
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        reference = _tiny_result()
+        monkeypatch.setattr(invariants, "DEBUG", False)
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        fast_path = _tiny_result()
+        assert _result_json(fast_path) == _result_json(reference)
+
+
+class TestDebugGate:
+    def test_pytest_arms_debug_by_default(self):
+        # The suite must always exercise the validated path.
+        assert invariants.DEBUG
+
+    def test_set_debug_returns_previous(self):
+        previous = invariants.set_debug(False)
+        try:
+            assert previous is True
+            assert invariants.set_debug(True) is False
+        finally:
+            invariants.set_debug(previous)
+
+    def test_engine_validates_when_armed(self):
+        sim = Simulator()
+        with pytest.raises(invariants.InvariantViolation):
+            sim.schedule(1.5, lambda: None)
+
+    def test_engine_skips_validation_when_released(self, monkeypatch):
+        # Release runs pay zero per-event validation: a float delay is
+        # no longer intercepted (the contract is *proved* under debug,
+        # not re-checked per event in production).
+        monkeypatch.setattr(invariants, "DEBUG", False)
+        sim = Simulator()
+        sim.schedule(1, lambda: None)  # Normal path still works.
+        sim.schedule(1.5, lambda: None)  # Not intercepted when released.
+
+    def test_run_until_is_always_validated(self, monkeypatch):
+        # Once per run, not per event — stays armed in release mode.
+        monkeypatch.setattr(invariants, "DEBUG", False)
+        sim = Simulator()
+        with pytest.raises(invariants.InvariantViolation):
+            sim.run(until_ns=0.5)
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "0")
+        assert invariants._default_debug() is False
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        assert invariants._default_debug() is True
+        monkeypatch.delenv("REPRO_DEBUG")
+        assert invariants._default_debug() is True  # pytest is loaded.
