@@ -116,10 +116,14 @@ class EventScheduler:
     """Interface of a pending-event set with a total (time, seq) order.
 
     ``pop`` must return entries in nondecreasing ``(time_ns, seq)``
-    order; ``push`` may be called with any entry whose time is >= the
-    last popped time (simulation time is monotonic).  Cancellation is
-    handled by the :class:`Simulator`, which skips entries whose event
-    has ``cancelled`` set.
+    order.  ``push`` may be called with any entry whose time is >= the
+    simulator's *executed* time — which can be **earlier than the last
+    popped time**: the :class:`Simulator` pops-then-repushes entries
+    (``peek_time_ns``, the ``until_ns``/``max_events`` push-back in
+    ``run``) and may then legally schedule before the pushed-back
+    entry.  Backends must stay correctly ordered under such pushes.
+    Cancellation is handled by the :class:`Simulator`, which skips
+    entries whose event has ``cancelled`` set.
     """
 
     __slots__ = ()
@@ -190,6 +194,14 @@ class CalendarScheduler(EventScheduler):
         heapq.heappush(buckets[(entry[0] // self._width) % len(buckets)],
                        entry)
         self._size += 1
+        # Clamp the scan origin so it never exceeds the minimal pending
+        # time.  The Simulator pops-then-repushes entries (peeks, the
+        # until_ns/max_events push-back in run()), which advances
+        # _last_time_ns past entries that are still legal to schedule;
+        # without the clamp the next pop would scan from too late a day,
+        # execute out of order, and rewind the clock.
+        if entry[0] < self._last_time_ns:
+            self._last_time_ns = entry[0]
         if self._size > 2 * len(buckets):
             self._rebuild(2 * len(buckets))
 

@@ -26,32 +26,56 @@ class Link:
     def __init__(self, sim: Simulator, src: "Node", dst: "Node",
                  rate_bps: float, delay_ns: int, queue: QueueDisc,
                  name: str = "") -> None:
-        if rate_bps <= 0:
-            raise ValueError("link rate must be positive")
         if delay_ns < 0:
             raise ValueError("propagation delay cannot be negative")
         self.sim = sim
         self.src = src
         self.dst = dst
-        self.rate_bps = float(rate_bps)
         self.delay_ns = int(delay_ns)
-        self.queue = queue
         self.name = name or f"{src.name}->{dst.name}"
         self._busy = False
         # Transmit-side counters (Cebinae's "egress pipeline" also hooks
         # transmission; see CebinaeQueueDisc.on_transmit).  The hook is
-        # a property of the queue's type, so it is resolved once here
-        # rather than with a getattr per transmitted packet.
+        # a property of the queue's type, so it is resolved once in the
+        # queue setter rather than with a getattr per transmitted
+        # packet.
         self.tx_packets = 0
         self.tx_bytes = 0
-        self._on_transmit: Optional[Callable[[Packet], None]] = \
-            getattr(queue, "on_transmit", None)
+        self._on_transmit: Optional[Callable[[Packet], None]] = None
         # Serialization delay depends only on packet size, and traffic
         # is dominated by a handful of sizes (MTU, MSS boundaries, pure
         # ACKs, ROTATE markers), so the round() per packet memoises
-        # into a tiny dict.
+        # into a tiny dict.  Invalidated by the rate_bps setter.
         self._ser_delay_cache: Dict[int, int] = {}
+        self.rate_bps = rate_bps
+        self.queue = queue
+
+    @property
+    def queue(self) -> QueueDisc:
+        """The egress queue disc this link drains."""
+        return self._queue
+
+    @queue.setter
+    def queue(self, queue: QueueDisc) -> None:
+        # Re-resolve the memoized transmit hook and re-register the
+        # waker so a mid-run queue swap cannot leave a stale hook
+        # silently feeding the old queue disc.
+        self._queue = queue
+        self._on_transmit = getattr(queue, "on_transmit", None)
         queue.set_waker(self._on_queue_ready)
+
+    @property
+    def rate_bps(self) -> float:
+        """Link rate in bits per second."""
+        return self._rate_bps
+
+    @rate_bps.setter
+    def rate_bps(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self._rate_bps = float(rate_bps)
+        # Memoized serialization delays embed the old rate.
+        self._ser_delay_cache.clear()
 
     @property
     def capacity_bytes_per_sec(self) -> float:

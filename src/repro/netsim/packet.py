@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Any, Dict, Mapping, NamedTuple, Optional, Tuple
 
 #: Standard Ethernet MTU used throughout the reproduction.
@@ -95,7 +95,9 @@ class Packet:
             Allocated lazily on first access — the overwhelming
             majority of packets (every DATA segment and ACK) never
             carry annotations, and skipping the dict allocation is a
-            measurable win at millions of packets per run.
+            measurable win at millions of packets per run.  The
+            constructor still accepts ``meta={...}`` (the pre-lazy
+            API); annotations are excluded from equality and ``repr``.
     """
 
     flow: FlowId
@@ -110,11 +112,15 @@ class Packet:
     cwr: bool = False
     sent_time_ns: int = 0
     enqueue_time_ns: int = 0
+    meta: InitVar[Optional[Dict[str, Any]]] = None
     _meta: Optional[Dict[str, Any]] = field(
         default=None, repr=False, compare=False)
 
-    @property
-    def meta(self) -> Dict[str, Any]:
+    def __post_init__(self, meta: Optional[Dict[str, Any]]) -> None:
+        if meta is not None:
+            self._meta = meta
+
+    def _lazy_meta(self) -> Dict[str, Any]:
         """Lazy annotation dict (created on first touch)."""
         store = self._meta
         if store is None:
@@ -148,6 +154,14 @@ class Packet:
     def __repr__(self) -> str:
         return (f"Packet({self.ptype.value}, {self.flow}, "
                 f"seq={self.seq}, ack={self.ack}, {self.size_bytes}B)")
+
+
+# ``meta`` is an InitVar (so ``Packet(..., meta={...})`` keeps working)
+# and leaves no instance attribute behind, which lets this class-level
+# property serve ``pkt.meta`` reads with the lazy allocation.  It is
+# attached after the @dataclass decoration so the generated __init__
+# sees the plain ``None`` default rather than the property object.
+Packet.meta = property(Packet._lazy_meta)  # type: ignore[assignment]
 
 
 def make_rotate_packet(port: int,

@@ -105,6 +105,44 @@ class TestOnTransmitHook:
         assert queue.seen == [400, 600]
 
 
+class TestMutableAttributes:
+    """The queue/rate_bps setters invalidate the memoized fast paths."""
+
+    def test_queue_swap_rebinds_hook_and_waker(self):
+        class HookQueue(DropTailQueue):
+            def __init__(self):
+                super().__init__(limit_packets=10)
+                self.seen = []
+
+            def on_transmit(self, packet):
+                self.seen.append(packet.size_bytes)
+
+        sim = Simulator()
+        _, _, link = wire(sim)  # Plain queue: no on_transmit hook.
+        link.send(make_packet(size=400))
+        sim.run()
+        replacement = HookQueue()
+        link.queue = replacement
+        assert link.queue is replacement
+        link.send(make_packet(size=600))
+        sim.run()  # The new queue's waker must restart the link.
+        assert replacement.seen == [600]
+
+    def test_rate_change_invalidates_serialization_cache(self):
+        sim = Simulator()
+        _, _, link = wire(sim, rate_bps=8e6)
+        assert link.serialization_delay_ns(1000) == 1_000_000
+        link.rate_bps = 16e6
+        assert link.rate_bps == 16e6
+        assert link.serialization_delay_ns(1000) == 500_000
+
+    def test_rate_setter_rejects_nonpositive(self):
+        sim = Simulator()
+        _, _, link = wire(sim)
+        with pytest.raises(ValueError):
+            link.rate_bps = 0
+
+
 class TestHostDispatch:
     def test_handler_receives_matching_flow(self):
         sim = Simulator()

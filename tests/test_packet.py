@@ -32,6 +32,32 @@ class TestFlowId:
         assert table[FlowId(1, 2, 3, 4)] == "x"
 
 
+class TestLazyMeta:
+    def _packet(self, **kwargs):
+        return Packet(flow=FlowId(1, 2, 100, 80), size_bytes=MTU_BYTES,
+                      **kwargs)
+
+    def test_meta_allocates_lazily(self):
+        packet = self._packet()
+        assert not packet.has_meta
+        packet.meta["tag"] = 7
+        assert packet.has_meta
+        assert packet.meta == {"tag": 7}
+
+    def test_constructor_accepts_meta_kwarg(self):
+        # The pre-lazy public API: Packet(..., meta={...}).
+        packet = self._packet(meta={"tag": 7})
+        assert packet.has_meta
+        assert packet.meta == {"tag": 7}
+
+    def test_constructor_meta_none_stays_lazy(self):
+        assert not self._packet(meta=None).has_meta
+
+    def test_meta_excluded_from_equality(self):
+        # Annotations are bookkeeping, not header bits.
+        assert self._packet(meta={"tag": 7}) == self._packet()
+
+
 class TestStableHash:
     """FlowId.stable_hash backs deterministic cross-process replay.
 

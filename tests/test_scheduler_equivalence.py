@@ -96,6 +96,78 @@ def test_calendar_matches_stable_sort_contract(batch):
     assert fired == expected
 
 
+@settings(deadline=None, max_examples=100)
+@given(EVENT_BATCH, st.integers(min_value=1, max_value=60))
+def test_backends_match_under_chunked_runs_and_peeks(batch, chunk_ns):
+    """Backends agree when scheduling interleaves with peeks/bounded runs.
+
+    ``peek_time_ns`` and the ``until_ns`` push-back in ``run`` pop the
+    next entry and re-push it; a later schedule may then legally land
+    *before* the pushed-back entry.  Regression for the calendar queue
+    executing such workloads out of order (clock rewind).
+    """
+    def run_chunked(factory):
+        sim = Simulator(scheduler=factory())
+        trace = []
+
+        def fire(tag):
+            trace.append((sim.now_ns, tag))
+
+        for chunk_start in range(0, len(batch), 5):
+            base = sim.now_ns
+            for tag, (time_ns, cancel, _children) in enumerate(
+                    batch[chunk_start:chunk_start + 5], chunk_start):
+                event = sim.schedule_at(base + time_ns, fire, tag)
+                if cancel:
+                    event.cancel()
+            sim.peek_time_ns()
+            sim.run(until_ns=base + chunk_ns)
+        sim.run()
+        return trace
+
+    reference = run_chunked(HeapScheduler)
+    for name, factory in SCHEDULER_FACTORIES[1:]:
+        assert run_chunked(factory) == reference, name
+
+
+@pytest.mark.parametrize("name,factory", SCHEDULER_FACTORIES)
+class TestScheduleAfterPushBack:
+    """Pinned repros for the calendar-queue scan-origin clamp."""
+
+    def test_schedule_after_peek(self, name, factory):
+        sim = Simulator(scheduler=factory())
+        fired = []
+        sim.schedule_at(640_000, fired.append, "late")
+        assert sim.peek_time_ns() == 640_000  # Pops and re-pushes.
+        sim.schedule_at(5_000, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now_ns == 640_000
+
+    def test_schedule_between_bounded_runs(self, name, factory):
+        sim = Simulator(scheduler=factory())
+        fired = []
+        sim.schedule_at(640_000, fired.append, "late")
+        # Pops the 640us event and pushes it back past the bound.
+        sim.run(until_ns=10_000)
+        assert sim.now_ns == 10_000
+        sim.schedule_at(20_000, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now_ns == 640_000
+
+    def test_schedule_after_max_events_push_back(self, name, factory):
+        sim = Simulator(scheduler=factory())
+        fired = []
+        sim.schedule_at(1_000, fired.append, "first")
+        sim.schedule_at(640_000, fired.append, "late")
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=1)
+        sim.schedule_at(5_000, fired.append, "early")
+        sim.run()
+        assert fired == ["first", "early", "late"]
+
+
 class TestSchedulerSelection:
     def test_registry_names(self):
         assert set(SCHEDULERS) == {"heap", "calendar"}
