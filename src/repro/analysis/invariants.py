@@ -90,6 +90,24 @@ def unwrap(value: Optional[T], message: str = "unexpected None") -> T:
     return value
 
 
+def require_probability(value: object, what: str) -> float:
+    """Enforce that ``value`` is a probability in ``[0, 1]``.
+
+    The fault-injection layer draws per-packet and per-round outcomes
+    against configured probabilities; a rate outside the unit interval
+    silently biases every draw, so specs validate their fields through
+    this checker at construction time (not per event — never gated).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvariantViolation(
+            f"{what} must be a probability in [0, 1], got {value!r} "
+            f"({type(value).__name__})")
+    if not 0.0 <= value <= 1.0:
+        raise InvariantViolation(
+            f"{what} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
 def require_int_ns(value: object, what: str) -> int:
     """Enforce the integer-nanosecond clock contract on ``value``.
 

@@ -28,6 +28,7 @@ from .params import CebinaeParams
 from .queue_disc import CebinaeQueueDisc
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..faults.schedule import ControlPlaneFaults
     from ..netsim.topology import QueueFactory
 
 
@@ -41,12 +42,17 @@ class ControlPlaneSample:
     top_flows: Set[FlowId] = field(default_factory=set)
     top_rate_bytes_per_sec: float = 0.0
     bottom_rate_bytes_per_sec: float = 0.0
+    #: True when the port failed open at least once since the previous
+    #: recomputation (fault injection only; see repro.faults).
+    degraded: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready payload; ``top_flows`` is sorted so the output
         is byte-identical across processes (set iteration order is
-        not)."""
-        return {
+        not).  ``degraded`` is emitted only when set, so fault-free runs
+        stay byte-identical to payloads from before fault injection
+        existed."""
+        data: Dict[str, Any] = {
             "time_ns": self.time_ns,
             "utilization": self.utilization,
             "saturated": self.saturated,
@@ -54,6 +60,9 @@ class ControlPlaneSample:
             "top_rate_bytes_per_sec": self.top_rate_bytes_per_sec,
             "bottom_rate_bytes_per_sec": self.bottom_rate_bytes_per_sec,
         }
+        if self.degraded:
+            data["degraded"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ControlPlaneSample":
@@ -64,6 +73,7 @@ class ControlPlaneSample:
             top_flows={FlowId(*flow) for flow in data["top_flows"]},
             top_rate_bytes_per_sec=data["top_rate_bytes_per_sec"],
             bottom_rate_bytes_per_sec=data["bottom_rate_bytes_per_sec"],
+            degraded=data.get("degraded", False),
         )
 
 
@@ -71,13 +81,22 @@ class CebinaeControlPlane:
     """The per-port agent driving rotation and reconfiguration."""
 
     def __init__(self, sim: Simulator, qdisc: CebinaeQueueDisc,
-                 record_history: bool = False) -> None:
+                 record_history: bool = False,
+                 faults: Optional["ControlPlaneFaults"] = None) -> None:
         self.sim = sim
         self.qdisc = qdisc
         self.params: CebinaeParams = qdisc.params
         self.capacity_bytes_per_sec = qdisc.rate_bps / 8.0
         self.round_counter = 0
         self._last_port_bytes = 0
+        # Fault injection: when an oracle is installed it is consulted
+        # once per rotation; a verdict of "reconfiguration misses the
+        # deadline L" triggers graceful degradation (see _miss_deadline).
+        self.faults = faults
+        self.deadline_misses = 0
+        self.dropped_reconfigs = 0
+        self.failopen_rounds = 0
+        self._degraded_since_record = False
         # Pending configuration, installed on each retired queue.
         self._pending_top_rate = self.capacity_bytes_per_sec
         self._pending_bottom_rate = self.capacity_bytes_per_sec
@@ -93,12 +112,52 @@ class CebinaeControlPlane:
     def _on_rotate(self) -> None:
         retired = self.qdisc.rotate()
         self.round_counter += 1
-        delay = self.params.vdt_ns + self.params.l_ns
-        self.sim.schedule(delay, self._apply_config, retired)
+        deadline = self.params.control_deadline_ns
+        faults = self.faults
+        if faults is not None:
+            dropped, extra_ns = faults.draw(self.sim.now_ns)
+            if dropped or extra_ns > 0:
+                self._miss_deadline(retired, deadline, dropped, extra_ns)
+                self.sim.schedule(self.params.dt_ns, self._on_rotate)
+                return
+        self.sim.schedule(deadline, self._apply_config, retired)
         self.sim.schedule(self.params.dt_ns, self._on_rotate)
+
+    def _miss_deadline(self, retired_queue: int, deadline_ns: int,
+                       dropped: bool, extra_ns: int) -> None:
+        """This round's reconfiguration will not arrive by ``t0 + vdT + L``.
+
+        The configuration computed for the retired queue is stale the
+        moment the deadline passes.  With fail-open semantics (the
+        default) the switch detects the miss at the deadline and
+        degrades to pass-through FIFO for the rest of the round —
+        fairness augmentation pauses, forwarding never does.  With
+        fail-open disabled the stale configuration is applied *late*
+        (the hazard the paper's deadline exists to avoid), or never, if
+        the control message was dropped outright.
+        """
+        self.deadline_misses += 1
+        if dropped:
+            self.dropped_reconfigs += 1
+        faults = self.faults
+        if faults is not None and faults.fail_open:
+            self.sim.schedule(deadline_ns, self._fail_open)
+        elif not dropped:
+            self.sim.schedule(deadline_ns + extra_ns,
+                              self._apply_config, retired_queue)
+
+    def _fail_open(self) -> None:
+        """Deadline passed with no fresh configuration: degrade."""
+        self.failopen_rounds += 1
+        self._degraded_since_record = True
+        self.qdisc.enter_fail_open()
 
     def _apply_config(self, retired_queue: int) -> None:
         """End of the control window: all changes become visible."""
+        if self.qdisc.fail_open:
+            # A fresh configuration ends the degraded spell; the next
+            # recompute (below or on a later round) re-converges rates.
+            self.qdisc.exit_fail_open()
         if self.round_counter % self.params.recompute_rounds == 0:
             self._recompute()
         if self._pending_saturated is not None:
@@ -161,25 +220,32 @@ class CebinaeControlPlane:
                 bottom_rate: float) -> None:
         if self.history is None:
             return
+        degraded = self._degraded_since_record
+        self._degraded_since_record = False
         self.history.append(ControlPlaneSample(
             time_ns=self.sim.now_ns, utilization=utilization,
             saturated=saturated, top_flows=set(top),
             top_rate_bytes_per_sec=top_rate,
-            bottom_rate_bytes_per_sec=bottom_rate))
+            bottom_rate_bytes_per_sec=bottom_rate,
+            degraded=degraded))
 
 
 def cebinae_factory(params: Optional[CebinaeParams] = None,
                     buffer_mtus: int = 100,
                     max_rtt_ns: int = 100_000_000,
                     record_history: bool = False,
-                    agents: Optional[List["CebinaeControlPlane"]] = None
+                    agents: Optional[List["CebinaeControlPlane"]] = None,
+                    cp_faults: Optional["ControlPlaneFaults"] = None
                     ) -> "QueueFactory":
     """Queue factory installing Cebinae (data plane + agent) on a port.
 
     When ``params`` is None, timing parameters are derived per port from
     its rate and buffer via :meth:`CebinaeParams.for_link`.  Created
     control-plane agents are appended to ``agents`` (when given) so
-    experiments can inspect their histories.
+    experiments can inspect their histories.  ``cp_faults`` installs a
+    deadline oracle on every created agent (ports are created in
+    deterministic topology order, so sharing one oracle keeps its draw
+    sequence reproducible).
     """
     from ..netsim.packet import MTU_BYTES
     from ..netsim.topology import PortSpec
@@ -193,7 +259,8 @@ def cebinae_factory(params: Optional[CebinaeParams] = None,
         qdisc = CebinaeQueueDisc(spec.sim, port_params, spec.rate_bps,
                                  buffer_bytes, name=spec.name)
         agent = CebinaeControlPlane(spec.sim, qdisc,
-                                    record_history=record_history)
+                                    record_history=record_history,
+                                    faults=cp_faults)
         if agents is not None:
             agents.append(agent)
         return qdisc

@@ -89,6 +89,19 @@ class CebinaeParams:
         """``P · dT``: the measurement window for saturation and rates."""
         return self.recompute_rounds * self.dt_ns
 
+    @property
+    def control_deadline_ns(self) -> int:
+        """``vdT + L``: the reconfiguration deadline, relative to ``t0``.
+
+        A round whose reconfiguration is not applied by
+        ``t0 + control_deadline_ns`` is *stale* (paper section 4.4); the
+        agent detects this and fails open rather than installing rates
+        computed for a window that has already closed.  (A property, not
+        a field: adding a dataclass field would change every cached
+        :class:`~repro.experiments.parallel.RunSpec` fingerprint.)
+        """
+        return self.vdt_ns + self.l_ns
+
     def min_dt_ns(self, rate_bps: float, buffer_bytes: int) -> int:
         """Equation (2) lower bound on dT for a given port."""
         drain_ns = int(math.ceil(buffer_bytes * 8 * SECOND / rate_bps))

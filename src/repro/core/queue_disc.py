@@ -67,6 +67,13 @@ class CebinaeQueueDisc(QueueDisc):
         self.buffer_drops = 0
         self.ecn_marks = 0
         self.rotation_residue = 0
+        # Graceful degradation: when the control plane misses its
+        # deadline ``L`` the port *fails open* — packets bypass LBF
+        # admission into the head queue (plain drop-tail FIFO), so a
+        # faulty control plane can never stall the data plane.  The
+        # agent clears the flag at the next successful reconfiguration.
+        self.fail_open = False
+        self.failopen_enqueues = 0
 
     # -- classification --------------------------------------------------------
     def group_of(self, flow: FlowId) -> FlowGroup:
@@ -79,6 +86,18 @@ class CebinaeQueueDisc(QueueDisc):
             self.buffer_drops += 1
             self.record_drop(packet)
             return False
+        if self.fail_open:
+            # Degraded pass-through: straight into the head queue, no
+            # LBF state updates (the rates are stale by definition).
+            self.failopen_enqueues += 1
+            queue_index = self.lbf.headq
+            queues = self._queues
+            was_empty = not (queues[0] or queues[1])
+            queues[queue_index].append(packet)
+            self._queue_bytes[queue_index] += packet.size_bytes
+            if was_empty:
+                self.notify_waker()
+            return True
         now = self.sim.now_ns
         if self.saturated:
             group = self.group_of(packet.flow)
@@ -135,10 +154,21 @@ class CebinaeQueueDisc(QueueDisc):
     def rotate(self) -> int:
         """Advance the round; returns the retired queue index."""
         retired = self.lbf.headq
-        if self._queues[retired]:
-            # Equation (2) should make this impossible; count violations.
+        if self._queues[retired] and not self.fail_open:
+            # Equation (2) should make this impossible; count
+            # violations.  Not a violation while failed open: the
+            # pass-through path ignores the LBF pacing that Equation (2)
+            # assumes.
             self.rotation_residue += 1
         return self.lbf.rotate(self.sim.now_ns)
+
+    def enter_fail_open(self) -> None:
+        """Degrade to pass-through FIFO (stale reconfiguration)."""
+        self.fail_open = True
+
+    def exit_fail_open(self) -> None:
+        """Restore LBF admission (fresh configuration installed)."""
+        self.fail_open = False
 
     def set_membership(self, top_flows: Set[FlowId]) -> None:
         self.top_flows = set(top_flows)

@@ -20,7 +20,10 @@ from .table2 import TABLE2_ROWS, run_table2
 
 EXPERIMENTS = ("table2", "figure1", "figure7", "figure8", "figure9",
                "figure10", "figure11", "figure12", "figure13",
-               "table3", "scalability", "all")
+               "table3", "scalability", "faults", "all")
+
+#: Experiments excluded from ``all`` (opt-in extras, not paper tables).
+NOT_IN_ALL = ("all", "faults")
 
 
 def _duration(default: float, quick: bool) -> float:
@@ -31,15 +34,32 @@ def run_experiment(name: str, quick: bool = False,
                    rows: Optional[List[int]] = None,
                    workers: int = 1,
                    cache_dir: Optional[str] = None,
-                   use_cache: bool = True) -> str:
+                   use_cache: bool = True,
+                   faults: Optional[List[str]] = None,
+                   wall_limit_s: Optional[float] = None) -> str:
     """Run one experiment by name and return its report text.
 
     ``workers``/``cache_dir``/``use_cache`` flow into the parallel
     executor: independent simulation points fan out over a process
     pool, and finished points are replayed from the on-disk cache.
+    ``faults`` (CLI ``--faults`` tokens) and ``wall_limit_s`` apply to
+    the ``faults`` experiment only.
     """
     pool = {"workers": workers, "cache_dir": cache_dir,
             "use_cache": use_cache}
+    if name == "faults":
+        from ..faults.spec import parse_fault_tokens
+        from .faults import demo_fault_spec, fault_recovery_sweep
+        duration = _duration(40.0, quick)
+        base = demo_fault_spec(duration)
+        if faults:
+            base = parse_fault_tokens(faults, base=base)
+        points = fault_recovery_sweep(duration_s=duration, base=base,
+                                      wall_limit_s=wall_limit_s, **pool)
+        return report.faults_report(points)
+    if faults:
+        raise ValueError(
+            f"--faults applies to the 'faults' experiment, not {name!r}")
     if name == "table2":
         selected = TABLE2_ROWS
         if rows:
@@ -142,6 +162,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore cached results and re-simulate "
                              "every point")
+    parser.add_argument("--faults", nargs="+", metavar="SPEC",
+                        help="fault injection for the 'faults' "
+                             "experiment: a JSON spec file and/or "
+                             "key=value overrides (e.g. --faults "
+                             "loss_rate=0.001 seed=7 "
+                             "cp_outage_windows=12e9-24e9)")
+    parser.add_argument("--wall-limit", type=float, metavar="SECONDS",
+                        help="per-run wall-clock watchdog for the "
+                             "'faults' experiment; a wedged run is "
+                             "recorded as FAILED instead of hanging "
+                             "the sweep")
     parser.add_argument("--profile", action="store_true",
                         help="profile the simulator hot path: "
                              "per-component event counts, events/sec "
@@ -151,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also write the profile to PATH in the "
                              "BENCH_*.json (pytest-benchmark) shape")
     args = parser.parse_args(argv)
-    names = [name for name in EXPERIMENTS if name != "all"] \
+    names = [name for name in EXPERIMENTS if name not in NOT_IN_ALL] \
         if args.experiment == "all" else [args.experiment]
     profiler = None
     if args.profile or args.profile_json:
@@ -170,7 +201,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_experiment(name, quick=args.quick, rows=args.rows,
                              workers=args.workers,
                              cache_dir=args.cache_dir,
-                             use_cache=not args.no_cache))
+                             use_cache=not args.no_cache,
+                             faults=args.faults,
+                             wall_limit_s=args.wall_limit))
         elapsed = time.monotonic() - start  # simlint: allow[D103] CLI timer
         print(f"[{name}: {elapsed:.1f}s]\n")
     if profiler is not None:

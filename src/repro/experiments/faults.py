@@ -1,0 +1,161 @@
+"""Fault-recovery experiment: fairness augmentation under injected
+faults.
+
+The paper's evaluation assumes a healthy network; this experiment asks
+the robustness question the deployment story depends on: *when the
+control plane misses its deadline ``L`` and the bottleneck link
+misbehaves, how quickly does Jain's index re-converge once the faults
+clear?*
+
+The demo scenario is a mixed NewReno/Vegas dumbbell (the CCA mix where
+Cebinae's augmentation matters most).  Mid-run the fault schedule opens
+a control-plane outage — every reconfiguration in the window misses
+``L``, so the switch fails open to pass-through FIFO — and adds
+stochastic loss on the bottleneck wire.  :func:`fault_recovery_sweep`
+scales this schedule by an intensity factor (0 is a true no-fault
+baseline) and reports, per intensity, the degradation counters and the
+time for the per-second JFI series to return to its pre-fault level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..faults.spec import FaultSpec
+from ..netsim.engine import seconds
+from .parallel import FailedRun, RunSpec, run_many
+from .runner import Discipline, ScenarioResult
+from .scenarios import DEFAULT_POLICY, ScaledScenario, ScenarioSpec
+
+#: The fault window, as fractions of the run: faults start at 30% of
+#: the run and clear at 60%, leaving 40% of the run for re-convergence.
+FAULT_START_FRACTION = 0.3
+FAULT_END_FRACTION = 0.6
+
+
+def demo_scenario(duration_s: float = 40.0) -> ScaledScenario:
+    """The demo dumbbell: 2 NewReno vs 2 Vegas, 30 ms RTT."""
+    spec = ScenarioSpec(
+        name="fault_demo",
+        rate_bps=100e6,
+        rtts_ms=(30.0,),
+        buffer_mtus=100,
+        cca_mix=(("newreno", 2), ("vegas", 2)),
+        duration_s=duration_s,
+    )
+    return DEFAULT_POLICY.apply(spec)
+
+
+def demo_fault_spec(duration_s: float = 40.0, seed: int = 1) -> FaultSpec:
+    """The demo schedule: a CP outage plus bottleneck loss mid-run."""
+    start_ns = seconds(duration_s * FAULT_START_FRACTION)
+    end_ns = seconds(duration_s * FAULT_END_FRACTION)
+    return FaultSpec(
+        seed=seed,
+        cp_outage_windows=((start_ns, end_ns),),
+        loss_rate=0.002,
+        link_pattern="L->R",
+        start_ns=start_ns,
+        end_ns=end_ns,
+    )
+
+
+def jfi_recovery_time_s(jfi_series: Sequence[float],
+                        fault_end_s: float,
+                        baseline_jfi: float,
+                        tolerance: float = 0.05,
+                        sustain_s: int = 3) -> Optional[float]:
+    """Seconds after the faults clear until JFI is back, or None.
+
+    "Back" means within ``tolerance`` of ``baseline_jfi`` for
+    ``sustain_s`` consecutive one-second bins — a single lucky second
+    during loss recovery must not count as convergence.  Returns the
+    delay from ``fault_end_s`` to the start of the first sustained
+    window, 0.0 if fairness never left the band, or None if the run
+    ended before a sustained return.
+    """
+    target = baseline_jfi - tolerance
+    first_bin = int(fault_end_s)
+    run = 0
+    for index in range(first_bin, len(jfi_series)):
+        if jfi_series[index] >= target:
+            run += 1
+            if run >= sustain_s:
+                start_s = float(index - sustain_s + 1)
+                return max(0.0, start_s - fault_end_s)
+        else:
+            run = 0
+    return None
+
+
+@dataclass
+class FaultSweepPoint:
+    """One intensity of the sweep, with its recovery diagnostics."""
+
+    intensity: float
+    spec: FaultSpec
+    result: Union[ScenarioResult, FailedRun]
+    fault_start_s: float
+    fault_end_s: float
+    recovery_s: Optional[float] = None
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.result, FailedRun)
+
+
+def _analyse(point: FaultSweepPoint) -> None:
+    """Fill ``recovery_s`` from the run's per-second JFI series."""
+    if isinstance(point.result, FailedRun):
+        return
+    series = point.result.jfi_series()
+    pre_fault = series[:int(point.fault_start_s)]
+    if not pre_fault:
+        return
+    baseline = sum(pre_fault) / len(pre_fault)
+    point.recovery_s = jfi_recovery_time_s(series, point.fault_end_s,
+                                           baseline)
+
+
+def fault_recovery_sweep(intensities: Sequence[float] = (0.0, 0.5, 1.0,
+                                                         2.0),
+                         duration_s: float = 40.0,
+                         base: Optional[FaultSpec] = None,
+                         scaled: Optional[ScaledScenario] = None,
+                         workers: int = 1,
+                         cache_dir: Optional[str] = None,
+                         use_cache: bool = True,
+                         wall_limit_s: Optional[float] = None
+                         ) -> List[FaultSweepPoint]:
+    """Sweep fault intensity against Jain-index recovery time.
+
+    Every point runs the same scenario under Cebinae with the demo
+    fault schedule (or ``base``) scaled by its intensity; intensity 0
+    is the fault-free control.  Points fan out over the parallel
+    executor, so they cache and replay like any other sweep.
+    """
+    if scaled is None:
+        scaled = demo_scenario(duration_s)
+    if base is None:
+        base = demo_fault_spec(duration_s)
+    spec_for = {intensity: base.scaled(intensity)
+                for intensity in intensities}
+    run_specs = [RunSpec(scaled=scaled, discipline=Discipline.CEBINAE,
+                         collect_series=True, record_history=True,
+                         faults=spec_for[intensity],
+                         wall_limit_s=wall_limit_s)
+                 for intensity in intensities]
+    results = run_many(run_specs, workers=workers, cache_dir=cache_dir,
+                       use_cache=use_cache, timeout_s=wall_limit_s)
+    points: List[FaultSweepPoint] = []
+    for intensity, result in zip(intensities, results):
+        point = FaultSweepPoint(
+            intensity=intensity,
+            spec=spec_for[intensity],
+            result=result,
+            fault_start_s=duration_s * FAULT_START_FRACTION,
+            fault_end_s=duration_s * FAULT_END_FRACTION)
+        _analyse(point)
+        points.append(point)
+    return points

@@ -36,6 +36,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import random
 import sys
 import tempfile
 import time
@@ -44,6 +45,8 @@ from pathlib import Path
 from typing import (Any, Callable, Dict, List, Mapping, Optional,
                     Sequence, Union)
 
+from ..faults.spec import FaultSpec
+from ..faults.watchdog import RunAborted
 from .runner import Discipline, ScenarioResult, run_scenario
 from .scenarios import ScaledScenario
 
@@ -95,17 +98,37 @@ class RunSpec:
     collect_series: bool = False
     record_history: bool = False
     seed: int = 0
+    #: Deterministic fault injection for this point (None = fault-free).
+    faults: Optional[FaultSpec] = None
+    #: Per-run guards (see run_scenario); they bound execution without
+    #: changing what a completed run produces, so they are not part of
+    #: the cache fingerprint.
+    wall_limit_s: Optional[float] = None
+    max_events: Optional[int] = None
 
     @property
     def label(self) -> str:
         base = f"{self.scaled.spec.name}/{self.discipline.value}"
-        return base if self.seed == 0 else f"{base}@seed{self.seed}"
+        if self.seed != 0:
+            base = f"{base}@seed{self.seed}"
+        if self.faults is not None and self.faults.enabled:
+            blob = json.dumps(self.faults.to_dict(), sort_keys=True)
+            digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            base = f"{base}+faults:{digest[:6]}"
+        return base
 
     def params(self) -> Dict[str, Any]:
-        return {"scaled": self.scaled, "discipline": self.discipline,
-                "collect_series": self.collect_series,
-                "record_history": self.record_history,
-                "seed": self.seed}
+        params: Dict[str, Any] = {
+            "scaled": self.scaled, "discipline": self.discipline,
+            "collect_series": self.collect_series,
+            "record_history": self.record_history,
+            "seed": self.seed}
+        if self.faults is not None:
+            # Included only when set: fault-free fingerprints must stay
+            # identical to those minted before fault injection existed,
+            # or every populated cache would silently go cold.
+            params["faults"] = self.faults
+        return params
 
     def fingerprint(self) -> str:
         return fingerprint("ScenarioResult", self.params())
@@ -117,11 +140,33 @@ class FailedRun:
 
     Sweeps degrade gracefully: one crashing point is logged and
     recorded as a :class:`FailedRun` instead of killing the pool.
+    ``timed_out`` marks watchdog/pool-timeout casualties (deterministic
+    failures, never retried), ``backoff_s`` records the delay slept
+    before each retry attempt, and ``partial`` carries whatever
+    progress snapshot an aborted run managed to produce.
     """
 
     label: str
     error: str
     attempts: int
+    timed_out: bool = False
+    backoff_s: List[float] = field(default_factory=list)
+    partial: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready payload (reports persist failures with data)."""
+        return {"label": self.label, "error": self.error,
+                "attempts": self.attempts, "timed_out": self.timed_out,
+                "backoff_s": list(self.backoff_s),
+                "partial": self.partial}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailedRun":
+        return cls(label=data["label"], error=data["error"],
+                   attempts=data["attempts"],
+                   timed_out=data.get("timed_out", False),
+                   backoff_s=list(data.get("backoff_s", [])),
+                   partial=data.get("partial"))
 
 
 def require(result: Union[Any, FailedRun]) -> Any:
@@ -150,23 +195,36 @@ class ResultCache:
         return self.directory / f"{fp}.json"
 
     def load(self, fp: str) -> Optional[Dict[str, Any]]:
-        """The cached payload for ``fp``, or None (counts hit/miss)."""
+        """The cached payload for ``fp``, or None (counts hit/miss).
+
+        A corrupted, truncated, or foreign-schema entry is a miss, not
+        an error: the run is simply re-simulated and the entry
+        overwritten.  ``ValueError`` covers ``json.JSONDecodeError``;
+        the rest covers entries that parse but have the wrong shape.
+        """
         path = self._path(fp)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if entry.get("cache_version") != CACHE_VERSION:
+            if entry.get("cache_version") != CACHE_VERSION:
+                self.misses += 1
+                return None
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError):
             self.misses += 1
             return None
         self.hits += 1
-        return entry["payload"]
+        return payload
 
     def store(self, fp: str, kind: str, label: str,
               payload: Dict[str, Any]) -> None:
-        """Atomically persist one result payload."""
+        """Atomically persist one result payload.
+
+        Write-to-temp + fsync + ``os.replace`` so a reader (possibly in
+        another process) only ever sees either no entry or a complete
+        one — never a torn write, even across a crash.
+        """
         entry = {"cache_version": CACHE_VERSION, "kind": kind,
                  "label": label, "payload": payload}
         handle = tempfile.NamedTemporaryFile(
@@ -175,6 +233,8 @@ class ResultCache:
         try:
             with handle:
                 json.dump(entry, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, self._path(fp))
         except BaseException:
             try:
@@ -230,6 +290,35 @@ def _print_progress(message: str) -> None:
     print(message, file=sys.stderr, flush=True)
 
 
+#: Indirection so tests can observe retry pacing without sleeping.
+_sleep = time.sleep
+
+
+def _backoff_delays(key: str, retries: int, base_s: float) -> List[float]:
+    """Exponential backoff delays with deterministic seeded jitter.
+
+    Delays grow as ``base_s * 2**attempt``, each stretched by up to
+    +50% jitter from an RNG seeded by SHA-256 of the task's fingerprint
+    (or label).  Jitter de-synchronises retries that would otherwise
+    stampede a shared resource, and seeding it makes a re-run of the
+    same sweep schedule byte-identical retry timing.
+    """
+    seed = int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+    rng = random.Random(seed)
+    return [base_s * (2 ** attempt) * (1.0 + 0.5 * rng.random())
+            for attempt in range(retries)]
+
+
+def _no_retry(exc: BaseException) -> bool:
+    """Failures that are deterministic verdicts, not transient crashes.
+
+    A watchdog abort or pool timeout will recur on every attempt (the
+    same spec wedges the same way), so retrying only burns wall clock.
+    """
+    return isinstance(exc, (RunAborted, multiprocessing.TimeoutError))
+
+
 def _describe(result: Any, elapsed_s: float) -> str:
     extra = ""
     events = getattr(result, "events", None)
@@ -244,7 +333,9 @@ def _describe(result: Any, elapsed_s: float) -> str:
 def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
               cache_dir: Union[str, Path, None] = None,
               use_cache: bool = True, retries: int = 1,
-              progress: Optional[Callable[[str], None]] = _print_progress
+              progress: Optional[Callable[[str], None]] = _print_progress,
+              timeout_s: Optional[float] = None,
+              backoff_base_s: float = 0.05
               ) -> List[Union[Any, FailedRun]]:
     """Execute ``tasks``, in order, over a process pool with caching.
 
@@ -253,6 +344,14 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
     ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` runs
     serially in-process (no pool), which is also the fallback for
     retries so a crashing worker cannot take the sweep down with it.
+
+    ``timeout_s`` bounds each pooled task's wall clock from the parent
+    side (a backstop for the in-run watchdog; a timed-out task becomes
+    a :class:`FailedRun` with ``timed_out`` set and is never retried).
+    Transient crashes back off exponentially before each retry (see
+    :func:`_backoff_delays`); a ``KeyboardInterrupt`` flushes every
+    already-completed result to the cache before re-raising, so Ctrl-C
+    on a long sweep loses only the in-flight points.
     """
     cache = None
     if cache_dir is not None:
@@ -278,37 +377,70 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
     workers = max(1, min(int(workers), len(pending)))
 
     envelopes: Dict[int, Union[Dict[str, Any], BaseException]] = {}
-    if workers == 1:
-        for index in pending:
-            task = tasks[index]
-            _emit(progress, f"[parallel] start  {task.label}")
-            try:
-                envelopes[index] = _call_task(task.fn, task.kwargs)
-            except Exception as exc:  # noqa: BLE001 - recorded below.
-                envelopes[index] = exc
-    else:
-        context = multiprocessing.get_context()
-        with context.Pool(processes=workers) as pool:
-            handles = {}
+
+    def flush_completed() -> None:
+        """Persist every finished envelope (interrupt salvage path)."""
+        if cache is None:
+            return
+        flushed = 0
+        for done_index, envelope in envelopes.items():
+            if isinstance(envelope, BaseException):
+                continue
+            done = tasks[done_index]
+            if done.fingerprint:
+                cache.store(done.fingerprint, done.kind, done.label,
+                            done.encode(envelope["value"]))
+                flushed += 1
+        _emit(progress,
+              f"[parallel] interrupted; flushed {flushed} completed "
+              f"result(s) to cache")
+
+    try:
+        if workers == 1:
             for index in pending:
                 task = tasks[index]
                 _emit(progress, f"[parallel] start  {task.label}")
-                handles[index] = pool.apply_async(
-                    _call_task, (task.fn, task.kwargs))
-            for index in pending:
                 try:
-                    envelopes[index] = handles[index].get()
-                except Exception as exc:  # noqa: BLE001
+                    envelopes[index] = _call_task(task.fn, task.kwargs)
+                except Exception as exc:  # noqa: BLE001 - recorded below.
                     envelopes[index] = exc
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=workers) as pool:
+                handles = {}
+                for index in pending:
+                    task = tasks[index]
+                    _emit(progress, f"[parallel] start  {task.label}")
+                    handles[index] = pool.apply_async(
+                        _call_task, (task.fn, task.kwargs))
+                for index in pending:
+                    try:
+                        envelopes[index] = handles[index].get(
+                            timeout=timeout_s)
+                    except Exception as exc:  # noqa: BLE001
+                        envelopes[index] = exc
+    except KeyboardInterrupt:
+        # Pool.__exit__ has already terminated the workers; keep what
+        # finished, then let the interrupt propagate.
+        flush_completed()
+        raise
 
     for index in pending:
         task = tasks[index]
         envelope = envelopes[index]
         attempts = 1
-        while isinstance(envelope, BaseException) and attempts <= retries:
+        delays = _backoff_delays(task.fingerprint or task.label,
+                                 retries, backoff_base_s)
+        slept: List[float] = []
+        while (isinstance(envelope, BaseException)
+               and attempts <= retries and not _no_retry(envelope)):
+            delay = delays[attempts - 1]
             _emit(progress,
                   f"[parallel] retry  {task.label} after "
-                  f"{type(envelope).__name__}: {envelope}")
+                  f"{type(envelope).__name__}: {envelope} "
+                  f"(backoff {delay * 1e3:.0f}ms)")
+            _sleep(delay)
+            slept.append(delay)
             attempts += 1
             try:
                 envelope = _call_task(task.fn, task.kwargs)
@@ -317,9 +449,16 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
         if isinstance(envelope, BaseException):
             _emit(progress,
                   f"[parallel] FAILED {task.label}: {envelope}")
-            results[index] = FailedRun(label=task.label,
-                                       error=str(envelope),
-                                       attempts=attempts)
+            timed_out = isinstance(envelope, multiprocessing.TimeoutError)
+            partial = None
+            if isinstance(envelope, RunAborted):
+                timed_out = True
+                partial = envelope.partial
+            results[index] = FailedRun(
+                label=task.label,
+                error=str(envelope) or type(envelope).__name__,
+                attempts=attempts, timed_out=timed_out,
+                backoff_s=slept, partial=partial)
             continue
         payload = task.encode(envelope["value"])
         if cache is not None and task.fingerprint:
@@ -335,12 +474,20 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
 # --------------------------------------------------------------------------
 
 def _scenario_task(spec: RunSpec) -> Task:
+    kwargs: Dict[str, Any] = {
+        "scaled": spec.scaled,
+        "discipline": spec.discipline,
+        "collect_series": spec.collect_series,
+        "record_history": spec.record_history,
+        "seed": spec.seed}
+    if spec.faults is not None:
+        kwargs["faults"] = spec.faults
+    if spec.wall_limit_s is not None:
+        kwargs["wall_limit_s"] = spec.wall_limit_s
+    if spec.max_events is not None:
+        kwargs["max_events"] = spec.max_events
     return Task(fn=run_scenario,
-                kwargs={"scaled": spec.scaled,
-                        "discipline": spec.discipline,
-                        "collect_series": spec.collect_series,
-                        "record_history": spec.record_history,
-                        "seed": spec.seed},
+                kwargs=kwargs,
                 label=spec.label,
                 fingerprint=spec.fingerprint(),
                 kind="ScenarioResult",
@@ -351,7 +498,8 @@ def _scenario_task(spec: RunSpec) -> Task:
 def run_many(specs: Sequence[RunSpec], workers: Optional[int] = None,
              cache_dir: Union[str, Path, None] = None,
              use_cache: bool = True, retries: int = 1,
-             progress: Optional[Callable[[str], None]] = _print_progress
+             progress: Optional[Callable[[str], None]] = _print_progress,
+             timeout_s: Optional[float] = None
              ) -> List[Union[ScenarioResult, FailedRun]]:
     """Run independent scenario points over a process pool.
 
@@ -364,4 +512,4 @@ def run_many(specs: Sequence[RunSpec], workers: Optional[int] = None,
     tasks = [_scenario_task(spec) for spec in specs]
     return run_tasks(tasks, workers=workers, cache_dir=cache_dir,
                      use_cache=use_cache, retries=retries,
-                     progress=progress)
+                     progress=progress, timeout_s=timeout_s)

@@ -144,6 +144,37 @@ def figure12_report(result: Figure12Result) -> str:
             f"goodput={mbps(result.fq_goodput_bps)} Mbps\n" + table)
 
 
+def faults_report(points: Sequence["FaultSweepPoint"]) -> str:
+    """The fault-intensity sweep: degradation counters and recovery."""
+    from .faults import FaultSweepPoint  # noqa: F401 - typing only
+    headers = ["intensity", "JFI", "recovery s", "CP misses",
+               "failopen rounds", "lost pkts", "status"]
+    rows: List[List[str]] = []
+    for point in points:
+        if point.failed:
+            failed = point.result
+            status = "TIMED OUT" if failed.timed_out else "FAILED"
+            rows.append([f"{point.intensity:g}", "-", "-", "-", "-",
+                         "-", f"{status} ({failed.error})"])
+            continue
+        result = point.result
+        summary = result.fault_summary or {}
+        cp = summary.get("control_plane", {})
+        lost = sum(link.get("lost_packets", 0)
+                   for link in summary.get("links", {}).values())
+        recovery = "-" if point.recovery_s is None \
+            else f"{point.recovery_s:.0f}"
+        rows.append([f"{point.intensity:g}", f"{result.jfi:.3f}",
+                     recovery, str(cp.get("deadline_misses", 0)),
+                     str(cp.get("failopen_rounds", 0)), str(lost),
+                     "ok"])
+    intro = ("Fault-recovery sweep: CP outage + bottleneck loss "
+             "during the middle of the run; 'recovery s' is the time "
+             "after the faults clear for per-second JFI to return to "
+             "its pre-fault level")
+    return intro + "\n" + format_table(headers, rows)
+
+
 def figure13_report(results: Sequence[DetectionResult],
                     variable: str = "round_interval_ms") -> str:
     headers = ["stages", "slots", "interval ms", "FPR", "FNR"]

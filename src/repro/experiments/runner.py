@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.control_plane import CebinaeControlPlane, cebinae_factory
 from ..fairness.metrics import jain_fairness_index, jfi_time_series
-from ..netsim.engine import SECOND, Simulator, seconds
+from ..faults.schedule import ControlPlaneFaults, FaultSchedule
+from ..faults.spec import FaultSpec
+from ..faults.watchdog import RunAborted, WallClockWatchdog
+from ..netsim.engine import (SECOND, SimulationError, Simulator,
+                             seconds)
 from ..netsim.fq_codel import fq_codel_factory
 from ..netsim.packet import FlowId, MTU_BYTES
 from ..netsim.queues import DropTailQueue
@@ -53,6 +57,11 @@ class ScenarioResult:
     goodput_series_bps: Optional[List[List[float]]] = None
     start_times_s: Optional[List[float]] = None
     cp_history: Optional[list] = None
+    #: Fault-injection account (see FaultSchedule.summary); None when
+    #: the run had no faults, and then absent from the JSON payload so
+    #: fault-free results stay byte-identical to pre-fault-subsystem
+    #: outputs.
+    fault_summary: Optional[Dict[str, Any]] = None
 
     @property
     def jfi(self) -> float:
@@ -79,7 +88,7 @@ class ScenarioResult:
         The parallel executor and its on-disk result cache depend on
         ``from_dict(to_dict(r)) == r`` holding field for field.
         """
-        return {
+        data: Dict[str, Any] = {
             "name": self.name,
             "discipline": self.discipline.value,
             "duration_s": self.duration_s,
@@ -102,6 +111,9 @@ class ScenarioResult:
                 [sample.to_dict() for sample in self.cp_history]
                 if self.cp_history is not None else None,
         }
+        if self.fault_summary is not None:
+            data["fault_summary"] = self.fault_summary
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioResult":
@@ -129,12 +141,14 @@ class ScenarioResult:
             cp_history=[ControlPlaneSample.from_dict(sample)
                         for sample in data["cp_history"]]
             if data["cp_history"] is not None else None,
+            fault_summary=data.get("fault_summary"),
         )
 
 
 def queue_factory_for(discipline: Discipline, scaled: ScaledScenario,
                       agents: Optional[list] = None,
-                      record_history: bool = False):
+                      record_history: bool = False,
+                      cp_faults: Optional[ControlPlaneFaults] = None):
     """The bottleneck queue factory for a discipline."""
     buffer_mtus = scaled.spec.buffer_mtus
     if discipline is Discipline.FIFO:
@@ -148,25 +162,40 @@ def queue_factory_for(discipline: Discipline, scaled: ScaledScenario,
         return cebinae_factory(params=scaled.cebinae,
                                buffer_mtus=buffer_mtus,
                                agents=agents,
-                               record_history=record_history)
+                               record_history=record_history,
+                               cp_faults=cp_faults)
     raise ValueError(f"unknown discipline {discipline}")
 
 
 def run_scenario(scaled: ScaledScenario, discipline: Discipline,
                  collect_series: bool = False,
                  record_history: bool = False,
-                 seed: int = 0) -> ScenarioResult:
+                 seed: int = 0,
+                 faults: Optional[FaultSpec] = None,
+                 wall_limit_s: Optional[float] = None,
+                 max_events: Optional[int] = None) -> ScenarioResult:
     """Execute one scenario under one discipline.
 
     ``seed`` varies the hosts' timing-noise RNG so replications of the
     same scenario are statistically independent yet reproducible.
+    ``faults`` injects a deterministic fault schedule (the no-fault path
+    is untouched: no extra events, RNG draws, or JSON keys).
+    ``wall_limit_s``/``max_events`` bound the run; a breach raises
+    :class:`~repro.faults.watchdog.RunAborted` carrying a partial-result
+    snapshot.
     """
     spec = scaled.spec
     plans = spec.flow_plans()
     agents: List[CebinaeControlPlane] = []
-    factory = queue_factory_for(discipline, scaled, agents=agents,
-                                record_history=record_history)
+    schedule: Optional[FaultSchedule] = None
+    cp_faults: Optional[ControlPlaneFaults] = None
     sim = Simulator()
+    if faults is not None and faults.enabled:
+        schedule = FaultSchedule(faults, sim)
+        cp_faults = schedule.control_plane_faults()
+    factory = queue_factory_for(discipline, scaled, agents=agents,
+                                record_history=record_history,
+                                cp_faults=cp_faults)
     dumbbell = build_dumbbell(
         rtts_ns=[seconds(plan.rtt_s) for plan in plans],
         bottleneck_rate_bps=spec.rate_bps,
@@ -181,7 +210,34 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
             plan.cca, monitor=monitor, src_port=10_000 + plan.index,
             start_time_ns=seconds(plan.start_time_s)))
     duration_ns = seconds(spec.duration_s)
-    sim.run(until_ns=duration_ns)
+    if schedule is not None:
+        schedule.install(dumbbell.network.links,
+                         list(dumbbell.network.nodes.values()),
+                         duration_ns)
+
+    def partial_snapshot() -> Dict[str, Any]:
+        """What the run had achieved when a guard stopped it."""
+        return {
+            "events": sim.processed_events,
+            "sim_time_ns": sim.now_ns,
+            "duration_ns": duration_ns,
+            "delivered_bytes": [
+                monitor.records[flow.flow_id].delivered_bytes
+                if flow.flow_id in monitor.records else 0
+                for flow in flows],
+        }
+
+    watchdog = None
+    if wall_limit_s is not None:
+        watchdog = WallClockWatchdog(wall_limit_s,
+                                     partial=partial_snapshot)
+    try:
+        sim.run(until_ns=duration_ns, max_events=max_events,
+                watchdog=watchdog)
+    except SimulationError as exc:
+        # The event-budget guard; rewrap with the partial payload so
+        # the executor records progress alongside the failure.
+        raise RunAborted(str(exc), partial=partial_snapshot()) from exc
 
     goodputs = [monitor.goodputs_bps(duration_ns)[flow.flow_id]
                 for flow in flows]
@@ -212,6 +268,23 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
         cp_history=agents[0].history if agents and record_history
         else None,
     )
+    if schedule is not None:
+        summary = schedule.summary()
+        if agents:
+            # Fold the agents' degradation counters into the account
+            # (the oracle counts draws; the agents count consequences).
+            cp: Dict[str, Any] = dict(summary.get("control_plane", {}))
+            cp["rounds"] = sum(agent.round_counter for agent in agents)
+            cp["deadline_misses"] = sum(agent.deadline_misses
+                                        for agent in agents)
+            cp["dropped_reconfigs"] = sum(agent.dropped_reconfigs
+                                          for agent in agents)
+            cp["failopen_rounds"] = sum(agent.failopen_rounds
+                                        for agent in agents)
+            cp["failopen_enqueues"] = getattr(
+                dumbbell.bottleneck.queue, "failopen_enqueues", 0)
+            summary["control_plane"] = cp
+        result.fault_summary = summary
     return result
 
 

@@ -1,0 +1,306 @@
+"""The fault-spec format: one frozen description of a run's faults.
+
+A :class:`FaultSpec` is deliberately shaped like the rest of the run
+configuration (:class:`~repro.experiments.scenarios.ScaledScenario`,
+:class:`~repro.core.params.CebinaeParams`): a frozen dataclass of JSON
+primitives, so it canonicalises into the result-cache fingerprint,
+round-trips through ``to_dict``/``from_dict`` without loss, and equals
+itself across processes.
+
+Specs reach the CLI two ways (``cebinae-repro faults --faults ...``):
+
+* a JSON file: ``--faults spec.json`` (keys are the field names below);
+* inline ``key=value`` tokens: ``--faults loss_rate=0.001 seed=7
+  cp_outage_windows=10e9-20e9``.
+
+Window fields accept ``start-end`` nanosecond pairs separated by
+commas; node freezes prefix a name pattern (``node_freeze_windows=
+L:1e9-2e9``).  Numbers may use scientific notation (``10e9`` is 10
+seconds in nanoseconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..analysis.invariants import require, require_probability
+
+#: Windows are half-open integer-nanosecond intervals [start, end).
+Window = Tuple[int, int]
+#: A node freeze: (name pattern, start_ns, end_ns).
+FreezeWindow = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything a run may inject, in integer nanoseconds.
+
+    The stochastic impairments (``loss_rate``/``corrupt_rate``/
+    ``reorder_rate``) apply per transmitted packet on links matching
+    ``link_pattern``, inside the active window ``[start_ns, end_ns)``
+    (``end_ns=0`` means "until the end of the run").  Structural faults
+    (link down windows, seeded flaps, node freezes, control-plane
+    outages) are explicit event schedules.  ``seed`` roots every
+    random draw; two runs with equal specs are identical.
+    """
+
+    seed: int = 1
+    # -- stochastic per-link impairments -----------------------------------
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: Extra propagation delay drawn U(1, reorder_delay_ns) for a
+    #: reordered packet.
+    reorder_delay_ns: int = 500_000
+    #: fnmatch pattern selecting the impaired links by name.
+    link_pattern: str = "*"
+    start_ns: int = 0
+    end_ns: int = 0
+    # -- link up/down -------------------------------------------------------
+    link_down_windows: Tuple[Window, ...] = ()
+    #: Seeded random flaps per matched link, each ``flap_down_ns`` long.
+    flap_count: int = 0
+    flap_down_ns: int = 50_000_000
+    # -- node freeze/restart ------------------------------------------------
+    node_freeze_windows: Tuple[FreezeWindow, ...] = ()
+    # -- control-plane degradation -----------------------------------------
+    #: Probability a round's reconfiguration is delayed past deadline L.
+    cp_delay_prob: float = 0.0
+    #: Maximum extra reconfiguration delay, drawn U(1, max) when delayed.
+    cp_delay_max_ns: int = 0
+    #: Probability a round's reconfiguration is lost outright.
+    cp_drop_prob: float = 0.0
+    #: Hard outages: every reconfiguration inside a window is lost.
+    cp_outage_windows: Tuple[Window, ...] = ()
+    #: Miss semantics: fail open (pass-through FIFO for the round) when
+    #: True, or apply the stale configuration late when False.
+    cp_fail_open: bool = True
+
+    def __post_init__(self) -> None:
+        require_probability(self.loss_rate, "loss_rate")
+        require_probability(self.corrupt_rate, "corrupt_rate")
+        require_probability(self.reorder_rate, "reorder_rate")
+        require_probability(self.cp_delay_prob, "cp_delay_prob")
+        require_probability(self.cp_drop_prob, "cp_drop_prob")
+        require(self.loss_rate + self.corrupt_rate + self.reorder_rate
+                <= 1.0,
+                "loss_rate + corrupt_rate + reorder_rate must not "
+                "exceed 1")
+        for name in ("reorder_delay_ns", "flap_down_ns", "start_ns",
+                     "end_ns", "cp_delay_max_ns"):
+            value = getattr(self, name)
+            require(isinstance(value, int) and not isinstance(value, bool)
+                    and value >= 0,
+                    f"{name} must be a non-negative integer "
+                    f"nanosecond count, got {value!r}")
+        require(self.flap_count >= 0, "flap_count must be >= 0")
+        if self.reorder_rate > 0:
+            require(self.reorder_delay_ns > 0,
+                    "reorder_rate needs reorder_delay_ns > 0")
+        if self.cp_delay_prob > 0:
+            require(self.cp_delay_max_ns > 0,
+                    "cp_delay_prob needs cp_delay_max_ns > 0")
+        for start, end in (*self.link_down_windows,
+                           *self.cp_outage_windows):
+            require(0 <= start < end,
+                    f"window ({start}, {end}) must satisfy "
+                    f"0 <= start < end")
+        for pattern, start, end in self.node_freeze_windows:
+            require(bool(pattern),
+                    "node freeze windows need a name pattern")
+            require(0 <= start < end,
+                    f"freeze window ({start}, {end}) must satisfy "
+                    f"0 <= start < end")
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec injects anything at all."""
+        return bool(
+            self.loss_rate or self.corrupt_rate or self.reorder_rate
+            or self.link_down_windows or self.flap_count
+            or self.node_freeze_windows or self.cp_delay_prob
+            or self.cp_drop_prob or self.cp_outage_windows)
+
+    @property
+    def link_faults_enabled(self) -> bool:
+        return bool(self.loss_rate or self.corrupt_rate
+                    or self.reorder_rate or self.link_down_windows
+                    or self.flap_count)
+
+    @property
+    def control_plane_enabled(self) -> bool:
+        return bool(self.cp_delay_prob or self.cp_drop_prob
+                    or self.cp_outage_windows)
+
+    def active_at(self, now_ns: int) -> bool:
+        """Whether the stochastic window covers ``now_ns``."""
+        if now_ns < self.start_ns:
+            return False
+        return self.end_ns == 0 or now_ns < self.end_ns
+
+    def scaled(self, intensity: float) -> "FaultSpec":
+        """This spec with all stochastic rates scaled by ``intensity``.
+
+        Structural faults (windows, flaps) are kept at ``intensity > 0``
+        and removed entirely at 0, so an intensity sweep's first point
+        is a true no-fault baseline.
+        """
+        require(intensity >= 0, "intensity must be >= 0")
+        if intensity == 0:
+            return FaultSpec(seed=self.seed)
+
+        def clamp(rate: float) -> float:
+            return min(1.0, rate * intensity)
+
+        total = (clamp(self.loss_rate) + clamp(self.corrupt_rate)
+                 + clamp(self.reorder_rate))
+        shrink = 1.0 / total if total > 1.0 else 1.0
+        return dataclasses.replace(
+            self,
+            loss_rate=clamp(self.loss_rate) * shrink,
+            corrupt_rate=clamp(self.corrupt_rate) * shrink,
+            reorder_rate=clamp(self.reorder_rate) * shrink,
+            cp_delay_prob=clamp(self.cp_delay_prob),
+            cp_drop_prob=clamp(self.cp_drop_prob),
+            flap_count=max(1, round(self.flap_count * intensity))
+            if self.flap_count else 0,
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready payload (tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["link_down_windows"] = [list(w) for w in
+                                     self.link_down_windows]
+        data["cp_outage_windows"] = [list(w) for w in
+                                     self.cp_outage_windows]
+        data["node_freeze_windows"] = [list(w) for w in
+                                       self.node_freeze_windows]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fault-spec keys: {unknown}")
+        kwargs = dict(data)
+        for key in ("link_down_windows", "cp_outage_windows"):
+            if key in kwargs:
+                kwargs[key] = tuple((int(s), int(e))
+                                    for s, e in kwargs[key])
+        if "node_freeze_windows" in kwargs:
+            kwargs["node_freeze_windows"] = tuple(
+                (str(p), int(s), int(e))
+                for p, s, e in kwargs["node_freeze_windows"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{path}: fault spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+# --------------------------------------------------------------------------
+# Inline ``key=value`` parsing for the CLI.
+# --------------------------------------------------------------------------
+
+_INT_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(FaultSpec) if f.type == "int")
+_FLOAT_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(FaultSpec) if f.type == "float")
+_BOOL_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(FaultSpec) if f.type == "bool")
+
+
+def _parse_int(token: str) -> int:
+    """An integer, allowing scientific notation (``10e9``)."""
+    try:
+        return int(token)
+    except ValueError:
+        value = float(token)
+        result = int(value)
+        if result != value:
+            raise ValueError(
+                f"{token!r} is not a whole number of nanoseconds")
+        return result
+
+
+def _parse_windows(token: str) -> Tuple[Window, ...]:
+    windows: List[Window] = []
+    for part in token.split(","):
+        start, sep, end = part.partition("-")
+        if not sep:
+            raise ValueError(
+                f"window {part!r} must look like start-end")
+        windows.append((_parse_int(start), _parse_int(end)))
+    return tuple(windows)
+
+
+def _parse_freezes(token: str) -> Tuple[FreezeWindow, ...]:
+    freezes: List[FreezeWindow] = []
+    for part in token.split(","):
+        pattern, sep, window = part.partition(":")
+        if not sep:
+            raise ValueError(
+                f"freeze {part!r} must look like pattern:start-end")
+        (start, end), = _parse_windows(window)
+        freezes.append((pattern, start, end))
+    return tuple(freezes)
+
+
+def parse_fault_tokens(tokens: Sequence[str],
+                       base: "FaultSpec" = FaultSpec()) -> "FaultSpec":
+    """Build a spec from CLI tokens: a JSON path and/or ``key=value``.
+
+    A token containing no ``=`` is read as a JSON spec file; later
+    ``key=value`` tokens override its fields, so
+    ``--faults sweep.json seed=9`` reseeds a canned spec.
+    """
+    overrides: Dict[str, Any] = {}
+    spec = base
+    for token in tokens:
+        if "=" not in token:
+            spec = FaultSpec.from_json_file(token)
+            continue
+        key, _, raw = token.partition("=")
+        key = key.strip()
+        if key == "link_down_windows" or key == "cp_outage_windows":
+            overrides[key] = _parse_windows(raw)
+        elif key == "node_freeze_windows":
+            overrides[key] = _parse_freezes(raw)
+        elif key in _INT_FIELDS:
+            overrides[key] = _parse_int(raw)
+        elif key in _FLOAT_FIELDS:
+            overrides[key] = float(raw)
+        elif key in _BOOL_FIELDS:
+            overrides[key] = raw.strip().lower() not in (
+                "0", "false", "no", "off", "")
+        elif key == "link_pattern":
+            overrides[key] = raw
+        else:
+            known = sorted(f.name for f in dataclasses.fields(FaultSpec))
+            raise ValueError(
+                f"unknown fault-spec key {key!r}; known keys: {known}")
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    return spec
+
+
+def merge_windows(windows: Iterable[Window]) -> Tuple[Window, ...]:
+    """Sort and coalesce overlapping half-open windows."""
+    merged: List[Window] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)

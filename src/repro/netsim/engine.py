@@ -380,7 +380,9 @@ class Simulator:
             return True
 
     def run(self, until_ns: Optional[int] = None,
-            max_events: Optional[int] = None) -> None:
+            max_events: Optional[int] = None,
+            watchdog: Optional[Callable[[], None]] = None,
+            watchdog_interval: int = 8192) -> None:
         """Run events in order.
 
         Args:
@@ -389,6 +391,12 @@ class Simulator:
                 to ``until_ns`` on return so that post-run measurements
                 cover the full interval.
             max_events: safety valve for runaway simulations.
+            watchdog: called every ``watchdog_interval`` executed events;
+                may raise to abort the run (see
+                :class:`repro.faults.watchdog.WallClockWatchdog`).  The
+                hot path pays one ``is not None`` test per event and the
+                modulo only when a watchdog is installed.
+            watchdog_interval: events between watchdog checks.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -426,6 +434,8 @@ class Simulator:
                 executed += 1
                 self._now_ns = time_ns
                 self._processed += 1
+                if watchdog is not None and not executed % watchdog_interval:
+                    watchdog()
                 if record is not None:
                     record(event.callback)
                 event.callback(*event.args)

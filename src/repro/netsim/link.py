@@ -12,11 +12,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from ..analysis.invariants import unwrap
 from .engine import SECOND, Simulator
 from .packet import Packet
 from .queues import QueueDisc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.schedule import LinkFaultState
     from .node import Node
 
 
@@ -47,6 +49,13 @@ class Link:
         # ACKs, ROTATE markers), so the round() per packet memoises
         # into a tiny dict.  Invalidated by the rate_bps setter.
         self._ser_delay_cache: Dict[int, int] = {}
+        # Fault-injection state (repro.faults).  The hot path pays one
+        # boolean test per transmitted packet (``_impaired``), folded
+        # from the two slow-moving conditions below so the common
+        # healthy case stays a single attribute read.
+        self._up = True
+        self._fault_state: Optional["LinkFaultState"] = None
+        self._impaired = False
         self.rate_bps = rate_bps
         self.queue = queue
 
@@ -90,6 +99,39 @@ class Link:
             self._ser_delay_cache[size_bytes] = cached
         return cached
 
+    # -- fault injection (repro.faults) -----------------------------------
+    @property
+    def up(self) -> bool:
+        """Whether the wire is currently passing packets."""
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Cut or restore the wire.
+
+        While down, the egress queue keeps accepting packets (a real
+        port buffers during a flap; overflow becomes ordinary drop-tail
+        loss), the transmitter pauses, and packets finishing
+        serialization are cut.  Restoring the link kicks the
+        transmitter, so the backlog drains as a burst — exactly the
+        perturbation a fairness mechanism must absorb.
+        """
+        if up == self._up:
+            return
+        self._up = up
+        self._impaired = (self._fault_state is not None) or not up
+        if up:
+            self._on_queue_ready()
+
+    @property
+    def fault_state(self) -> Optional["LinkFaultState"]:
+        """The installed stochastic fault state, if any."""
+        return self._fault_state
+
+    def set_fault_state(self, state: Optional["LinkFaultState"]) -> None:
+        """Install (or clear) per-packet stochastic impairments."""
+        self._fault_state = state
+        self._impaired = (state is not None) or not self._up
+
     def send(self, packet: Packet) -> bool:
         """Offer a packet to this port.  Returns False if dropped."""
         return self.queue.enqueue(packet)
@@ -99,6 +141,11 @@ class Link:
             self._start_transmission()
 
     def _start_transmission(self) -> None:
+        if not self._up:
+            # Transmitter paused while the link is down; set_up(True)
+            # re-kicks it through _on_queue_ready.
+            self._busy = False
+            return
         packet = self.queue.dequeue()
         if packet is None:
             self._busy = False
@@ -113,8 +160,27 @@ class Link:
         hook = self._on_transmit
         if hook is not None:
             hook(packet)
-        self.sim.schedule(self.delay_ns, self.dst.receive, packet, self)
+        if self._impaired:
+            self._deliver_impaired(packet)
+        else:
+            self.sim.schedule(self.delay_ns, self.dst.receive, packet,
+                              self)
         self._start_transmission()
+
+    def _deliver_impaired(self, packet: Packet) -> None:
+        """Off-hot-path delivery when the link is down or fault-laden."""
+        if not self._up:
+            # The wire went down while this packet was serializing.
+            if self._fault_state is not None:
+                self._fault_state.down_drops += 1
+            return
+        state = unwrap(self._fault_state,
+                       "impaired link without fault state")
+        fate = state.draw(self.sim.now_ns)
+        if fate < 0:
+            return  # Lost (-1) or corrupted (-2); counters in draw().
+        self.sim.schedule(self.delay_ns + fate, self.dst.receive,
+                          packet, self)
 
     def __repr__(self) -> str:
         return (f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, "

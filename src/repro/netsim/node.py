@@ -30,6 +30,22 @@ class Node:
         self.links: List[Link] = []
         #: Static routing table: destination node id -> egress link.
         self.routes: Dict[int, Link] = {}
+        # Fault injection (repro.faults): a frozen node is fail-stop
+        # with state retained — it blackholes traffic until restarted,
+        # like a crashed forwarding plane that reboots with its tables
+        # intact.  One boolean test per received packet.
+        self._frozen = False
+        #: Packets discarded while frozen (diagnostics / fault summary).
+        self.frozen_drops = 0
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the node is currently fail-stopped."""
+        return self._frozen
+
+    def set_frozen(self, frozen: bool) -> None:
+        """Freeze (fail-stop) or restart the node."""
+        self._frozen = frozen
 
     def attach_link(self, link: Link) -> None:
         self.links.append(link)
@@ -61,6 +77,9 @@ class Router(Node):
         self.forwarded_packets = 0
 
     def receive(self, packet: Packet, from_link: Link) -> None:
+        if self._frozen:
+            self.frozen_drops += 1
+            return
         self.forwarded_packets += 1
         self.forward(packet)
 
@@ -90,6 +109,9 @@ class Host(Node):
         self._default_handler = handler
 
     def receive(self, packet: Packet, from_link: Link) -> None:
+        if self._frozen:
+            self.frozen_drops += 1
+            return
         handler = self._handlers.get(packet.flow)
         if handler is not None:
             handler(packet)
@@ -116,6 +138,9 @@ class Host(Node):
 
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet into the network."""
+        if self._frozen:
+            self.frozen_drops += 1
+            return False
         if self._tx_jitter_ns <= 0:
             return self.forward(packet)
         rng = unwrap(self._jitter_rng,

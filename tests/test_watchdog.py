@@ -1,0 +1,374 @@
+"""Run watchdogs and executor robustness.
+
+The guards that keep one bad point from taking a sweep down: the
+wall-clock watchdog and event budget convert a wedged run into a
+:class:`RunAborted` carrying a partial-result snapshot; the parallel
+executor turns that (or a pool timeout) into a :class:`FailedRun`
+without retrying a deterministic casualty; transient crashes back off
+with deterministic seeded jitter; Ctrl-C flushes completed results to
+the cache before propagating; and a corrupted cache entry is a miss,
+never a crash.
+"""
+
+import json
+import multiprocessing
+import pickle
+import time
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.parallel import (CACHE_VERSION, FailedRun,
+                                        ResultCache, RunSpec, Task,
+                                        _backoff_delays, require,
+                                        run_tasks)
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+from repro.faults.watchdog import RunAborted, WallClockWatchdog
+from repro.netsim.engine import Simulator
+
+TINY_POLICY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def tiny_scaled(name="guarded", duration_s=2.0):
+    spec = ScenarioSpec(name=name, rate_bps=100e6, rtts_ms=(20, 30),
+                        buffer_mtus=60,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    return TINY_POLICY.apply(spec)
+
+
+class FakeClock:
+    """An injectable monotonic clock advanced by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+# -- the wall-clock watchdog -------------------------------------------------
+
+class TestWallClockWatchdog:
+    def test_quiet_until_the_deadline_then_raises_with_partial(self):
+        clock = FakeClock()
+        watchdog = WallClockWatchdog(
+            limit_s=5.0, partial=lambda: {"events": 42}, clock=clock)
+        watchdog()                       # Well inside the budget.
+        clock.now += 4.9
+        watchdog()                       # Still inside.
+        assert watchdog.remaining_s == pytest.approx(0.1)
+        clock.now += 0.2
+        with pytest.raises(RunAborted) as excinfo:
+            watchdog()
+        assert excinfo.value.partial == {"events": 42}
+        assert "5" in excinfo.value.reason
+
+    def test_reset_restarts_the_budget(self):
+        clock = FakeClock()
+        watchdog = WallClockWatchdog(limit_s=1.0, clock=clock)
+        clock.now += 10.0
+        watchdog.reset()
+        watchdog()                       # Fresh budget: no raise.
+        clock.now += 1.0
+        with pytest.raises(RunAborted) as excinfo:
+            watchdog()
+        assert excinfo.value.partial is None
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            WallClockWatchdog(limit_s=0)
+
+
+class TestRunAborted:
+    def test_pickle_preserves_the_partial_payload(self):
+        original = RunAborted("wedged", partial={"events": 7,
+                                                 "flows": [1, 2]})
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, RunAborted)
+        assert clone.reason == "wedged"
+        assert clone.partial == {"events": 7, "flows": [1, 2]}
+        assert str(clone) == "wedged"
+
+    def test_is_never_retried(self):
+        assert parallel._no_retry(RunAborted("wedged"))
+        assert parallel._no_retry(multiprocessing.TimeoutError())
+        assert not parallel._no_retry(ValueError("transient"))
+
+
+# -- the engine hook ---------------------------------------------------------
+
+class TestEngineWatchdogHook:
+    @staticmethod
+    def _chain(sim, count):
+        """Schedule ``count`` events, each 1 ns apart."""
+        remaining = [count]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(1, tick)
+
+        sim.schedule(1, tick)
+
+    def test_called_once_per_interval(self):
+        sim = Simulator()
+        self._chain(sim, 10)
+        calls = []
+        sim.run(watchdog=lambda: calls.append(sim.now_ns),
+                watchdog_interval=4)
+        assert len(calls) == 2           # After events 4 and 8.
+
+    def test_a_raising_watchdog_aborts_the_run(self):
+        sim = Simulator()
+        self._chain(sim, 100)
+
+        def abort():
+            raise RunAborted("enough")
+
+        with pytest.raises(RunAborted):
+            sim.run(watchdog=abort, watchdog_interval=10)
+        assert sim.processed_events < 100
+
+    def test_a_quiet_watchdog_changes_nothing(self):
+        plain = Simulator()
+        self._chain(plain, 50)
+        plain.run()
+        watched = Simulator()
+        self._chain(watched, 50)
+        watched.run(watchdog=lambda: None, watchdog_interval=1)
+        assert watched.processed_events == plain.processed_events
+        assert watched.now_ns == plain.now_ns
+
+
+class TestScenarioGuards:
+    def test_event_budget_aborts_with_a_partial_snapshot(self):
+        with pytest.raises(RunAborted) as excinfo:
+            run_scenario(tiny_scaled(), Discipline.CEBINAE,
+                         max_events=2000)
+        partial = excinfo.value.partial
+        assert partial is not None
+        assert partial["events"] <= 2000
+        assert 0 <= partial["sim_time_ns"] < partial["duration_ns"]
+        assert partial["delivered_bytes"]
+        assert json.loads(json.dumps(partial)) == partial
+
+    def test_wall_limit_aborts_a_long_run(self):
+        # The first watchdog check (8192 events in) is already past a
+        # nanosecond budget, so this aborts deterministically.
+        with pytest.raises(RunAborted) as excinfo:
+            run_scenario(tiny_scaled(duration_s=30.0),
+                         Discipline.CEBINAE, wall_limit_s=1e-9)
+        assert excinfo.value.partial["events"] > 0
+
+    def test_generous_guards_do_not_perturb_the_run(self):
+        plain = run_scenario(tiny_scaled(), Discipline.CEBINAE,
+                             collect_series=True)
+        guarded = run_scenario(tiny_scaled(), Discipline.CEBINAE,
+                               collect_series=True, wall_limit_s=600.0,
+                               max_events=10 ** 9)
+        assert json.dumps(guarded.to_dict(), sort_keys=True) == \
+            json.dumps(plain.to_dict(), sort_keys=True)
+
+
+# -- the executor ------------------------------------------------------------
+
+def _ok(value):
+    return {"value": value}
+
+
+def _wedged(duration_s):
+    time.sleep(duration_s)
+    return {"value": "never"}
+
+
+def _passthrough_task(fn, label, fingerprint="", **kwargs):
+    return Task(fn=fn, kwargs=kwargs, label=label,
+                fingerprint=fingerprint,
+                encode=lambda v: v, decode=lambda p: p)
+
+
+class TestPoolTimeout:
+    def test_a_wedged_task_becomes_a_failed_run_not_a_hang(self):
+        tasks = [_passthrough_task(_wedged, "wedged", duration_s=60.0),
+                 _passthrough_task(_ok, "fast", value=3)]
+        start = time.monotonic()
+        results = run_tasks(tasks, workers=2, timeout_s=1.0,
+                            progress=None)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0            # The pool did not wait 60 s.
+        failed = results[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.timed_out
+        assert failed.attempts == 1      # Deterministic: never retried.
+        assert failed.backoff_s == []
+        assert results[1] == {"value": 3}
+
+    def test_run_aborted_carries_partial_into_failed_run(self):
+        def wedge():
+            raise RunAborted("watchdog fired", partial={"events": 9})
+
+        results = run_tasks([_passthrough_task(wedge, "aborted")],
+                            workers=1, progress=None)
+        failed = results[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.timed_out
+        assert failed.attempts == 1
+        assert failed.partial == {"events": 9}
+        assert "watchdog fired" in failed.error
+
+
+class TestFailedRunSerialisation:
+    def test_round_trips_through_json(self):
+        failed = FailedRun(label="p1", error="boom", attempts=3,
+                           timed_out=True, backoff_s=[0.05, 0.11],
+                           partial={"events": 12})
+        payload = json.loads(json.dumps(failed.to_dict()))
+        assert FailedRun.from_dict(payload) == failed
+
+    def test_legacy_payload_defaults(self):
+        # Entries written before the watchdog fields existed.
+        failed = FailedRun.from_dict(
+            {"label": "p", "error": "x", "attempts": 2})
+        assert not failed.timed_out
+        assert failed.backoff_s == []
+        assert failed.partial is None
+
+    def test_require_unwraps_or_raises(self):
+        assert require({"value": 1}) == {"value": 1}
+        with pytest.raises(RuntimeError, match="p1"):
+            require(FailedRun(label="p1", error="boom", attempts=1))
+
+
+class TestBackoff:
+    def test_delays_are_deterministic_and_exponential(self):
+        delays = _backoff_delays("some-key", retries=4, base_s=0.05)
+        assert delays == _backoff_delays("some-key", 4, 0.05)
+        assert delays != _backoff_delays("other-key", 4, 0.05)
+        for attempt, delay in enumerate(delays):
+            floor = 0.05 * (2 ** attempt)
+            assert floor <= delay <= floor * 1.5
+
+    def test_retry_sleeps_exactly_the_recorded_delays(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(parallel, "_sleep", slept.append)
+
+        def boom():
+            raise ValueError("always")
+
+        results = run_tasks([_passthrough_task(boom, "boom")],
+                            workers=1, retries=2, progress=None)
+        failed = results[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.attempts == 3
+        assert slept == failed.backoff_s == \
+            _backoff_delays("boom", 2, 0.05)
+
+    def test_transient_failure_backs_off_once_then_succeeds(
+            self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(parallel, "_sleep", slept.append)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError("transient")
+            return {"value": 5}
+
+        results = run_tasks([_passthrough_task(flaky, "flaky")],
+                            workers=1, progress=None)
+        assert results == [{"value": 5}]
+        assert slept == _backoff_delays("flaky", 1, 0.05)
+
+
+def _interrupt():
+    raise KeyboardInterrupt
+
+
+class TestKeyboardInterrupt:
+    def test_completed_results_are_flushed_before_reraising(
+            self, tmp_path):
+        messages = []
+        tasks = [_passthrough_task(_ok, "first", fingerprint="fp-first",
+                                   value=1),
+                 _passthrough_task(_interrupt, "ctrl-c",
+                                   fingerprint="fp-ctrl-c")]
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(tasks, workers=1, cache_dir=tmp_path,
+                      progress=messages.append)
+        assert any("flushed 1 completed" in message
+                   for message in messages)
+        # A rerun replays the flushed task from cache without calling it.
+        def must_not_run(value):
+            raise AssertionError("should have been cached")
+
+        rerun = run_tasks(
+            [_passthrough_task(must_not_run, "first",
+                               fingerprint="fp-first", value=1)],
+            workers=1, cache_dir=tmp_path, progress=None)
+        assert rerun == [{"value": 1}]
+
+
+class TestCorruptedCache:
+    def test_round_trip_counts_a_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("fp", "result", "label", {"value": 1})
+        assert cache.load("fp") == {"value": 1}
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    @pytest.mark.parametrize("content", [
+        "",                                        # Truncated to nothing.
+        "{\"cache_version\": 1, \"payl",           # Torn mid-write.
+        "[1, 2, 3]",                               # Wrong JSON shape.
+        "42",                                      # Not even an object.
+        json.dumps({"cache_version": CACHE_VERSION}),   # No payload.
+        json.dumps({"cache_version": CACHE_VERSION - 1,
+                    "payload": {"value": 1}}),     # Foreign schema.
+    ])
+    def test_bad_entries_are_misses_not_errors(self, tmp_path, content):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "fp.json").write_text(content, encoding="utf-8")
+        assert cache.load("fp") is None
+        assert cache.misses == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("absent") is None
+        assert cache.misses == 1
+
+    def test_a_corrupted_entry_is_resimulated_and_overwritten(
+            self, tmp_path):
+        task = _passthrough_task(_ok, "point", fingerprint="fp-point",
+                                 value=7)
+        (tmp_path / "fp-point.json").write_text("{torn",
+                                                encoding="utf-8")
+        results = run_tasks([task], workers=1, cache_dir=tmp_path,
+                            progress=None)
+        assert results == [{"value": 7}]
+        entry = json.loads((tmp_path / "fp-point.json").read_text())
+        assert entry["payload"] == {"value": 7}
+
+
+class TestRunSpecGuards:
+    def test_guards_flow_into_the_scenario_task(self):
+        spec = RunSpec(tiny_scaled(), Discipline.CEBINAE,
+                       wall_limit_s=2.5, max_events=1000)
+        task = parallel._scenario_task(spec)
+        assert task.kwargs["wall_limit_s"] == 2.5
+        assert task.kwargs["max_events"] == 1000
+        plain = parallel._scenario_task(
+            RunSpec(tiny_scaled(), Discipline.CEBINAE))
+        assert "wall_limit_s" not in plain.kwargs
+        assert "max_events" not in plain.kwargs
+
+    def test_event_budget_surfaces_as_failed_run_via_run_many(self):
+        spec = RunSpec(tiny_scaled(), Discipline.CEBINAE,
+                       max_events=2000)
+        results = parallel.run_many([spec], workers=1, progress=None)
+        failed = results[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.timed_out
+        assert failed.partial is not None
+        assert failed.partial["events"] <= 2000
