@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
 from ..heavyhitter.hashpipe import select_bottlenecked
 from ..netsim.engine import SECOND, Simulator
 from ..netsim.packet import FlowId
+from ..obs import bus as obs_bus
+from ..obs.events import ControlRound, sorted_flow_strings
 from .params import CebinaeParams
 from .queue_disc import CebinaeQueueDisc
 
@@ -105,6 +107,12 @@ class CebinaeControlPlane:
         self.history: Optional[List[ControlPlaneSample]] = (
             [] if record_history else None)
         self.recomputations = 0
+        # Observability: one ControlRound record per applied (or
+        # missed) reconfiguration.  Bound once; None when the topic is
+        # off.  ``_last_utilization`` remembers the most recent
+        # recompute's reading so non-recompute rounds still report it.
+        self._trace_round = obs_bus.emitter_for("control")
+        self._last_utilization = 0.0
         # Bootstrap the round schedule: first rotation after one dT.
         self.sim.schedule(self.params.dt_ns, self._on_rotate)
 
@@ -145,12 +153,39 @@ class CebinaeControlPlane:
         elif not dropped:
             self.sim.schedule(deadline_ns + extra_ns,
                               self._apply_config, retired_queue)
+        else:
+            # Dropped outright with fail-open disabled: nothing else
+            # will account for this round, so the timeline records the
+            # hole here.
+            trace = self._trace_round
+            if trace is not None:
+                trace(ControlRound(
+                    time_ns=self.sim.now_ns, port=self.qdisc.name,
+                    kind="missed", round_index=self.round_counter,
+                    retired_queue=retired_queue,
+                    saturated=self.qdisc.saturated,
+                    utilization=self._last_utilization,
+                    top_rate_bytes_per_sec=self._pending_top_rate,
+                    bottom_rate_bytes_per_sec=self._pending_bottom_rate,
+                    top_flows=sorted_flow_strings(self.qdisc.top_flows),
+                    recomputed=False, fail_open=False))
 
     def _fail_open(self) -> None:
         """Deadline passed with no fresh configuration: degrade."""
         self.failopen_rounds += 1
         self._degraded_since_record = True
         self.qdisc.enter_fail_open()
+        trace = self._trace_round
+        if trace is not None:
+            trace(ControlRound(
+                time_ns=self.sim.now_ns, port=self.qdisc.name,
+                kind="fail_open", round_index=self.round_counter,
+                retired_queue=-1, saturated=self.qdisc.saturated,
+                utilization=self._last_utilization,
+                top_rate_bytes_per_sec=self._pending_top_rate,
+                bottom_rate_bytes_per_sec=self._pending_bottom_rate,
+                top_flows=sorted_flow_strings(self.qdisc.top_flows),
+                recomputed=False, fail_open=True))
 
     def _apply_config(self, retired_queue: int) -> None:
         """End of the control window: all changes become visible."""
@@ -158,7 +193,8 @@ class CebinaeControlPlane:
             # A fresh configuration ends the degraded spell; the next
             # recompute (below or on a later round) re-converges rates.
             self.qdisc.exit_fail_open()
-        if self.round_counter % self.params.recompute_rounds == 0:
+        recomputed = self.round_counter % self.params.recompute_rounds == 0
+        if recomputed:
             self._recompute()
         if self._pending_saturated is not None:
             capacity = self.capacity_bytes_per_sec
@@ -173,6 +209,18 @@ class CebinaeControlPlane:
         self.qdisc.lbf.set_queue_rates(retired_queue,
                                        self._pending_top_rate,
                                        self._pending_bottom_rate)
+        trace = self._trace_round
+        if trace is not None:
+            trace(ControlRound(
+                time_ns=self.sim.now_ns, port=self.qdisc.name,
+                kind="config", round_index=self.round_counter,
+                retired_queue=retired_queue,
+                saturated=self.qdisc.saturated,
+                utilization=self._last_utilization,
+                top_rate_bytes_per_sec=self._pending_top_rate,
+                bottom_rate_bytes_per_sec=self._pending_bottom_rate,
+                top_flows=sorted_flow_strings(self.qdisc.top_flows),
+                recomputed=recomputed, fail_open=False))
 
     # -- the every-P-rounds recomputation -----------------------------------------
     def _recompute(self) -> None:
@@ -183,6 +231,7 @@ class CebinaeControlPlane:
         self._last_port_bytes = self.qdisc.port_tx_bytes
         utilization = byte_count / (self.capacity_bytes_per_sec
                                     * window_sec)
+        self._last_utilization = utilization
         # Poll-and-reset every window so counts always span P*dT.
         flow_bytes = self.qdisc.cache.poll_and_reset()
         if utilization < 1.0 - params.delta_port:

@@ -28,7 +28,7 @@ this behaviour and experiments show TCP's backoff makes it benign.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..netsim.engine import SECOND
 from .params import CebinaeParams
@@ -199,3 +199,25 @@ class LeakyBucketFilter:
         """Clear per-group state when filtering is released."""
         self.bytes[FlowGroup.TOP] = 0.0
         self.bytes[FlowGroup.BOTTOM] = 0.0
+
+    # -- introspection -----------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The filter's full state as a JSON-ready dict.
+
+        Used by the observability layer (metrics gauges, control-plane
+        timeline) and by tests that want to assert on LBF state without
+        reaching into attributes.  Keys are stable; iteration follows
+        the ``FlowGroup`` definition order, so output is deterministic.
+        """
+        return {
+            "headq": self.headq,
+            "rotations": self.rotations,
+            "round_time_ns": self.round_time_ns,
+            "base_round_time_ns": self.base_round_time_ns,
+            "bytes": {group.value: self.bytes[group]
+                      for group in FlowGroup},
+            "rates_bytes_per_sec": [
+                {group.value: queue_rates[group] for group in FlowGroup}
+                for queue_rates in self.rates],
+            "total_bytes": self.total_bytes,
+        }

@@ -26,6 +26,8 @@ from ..heavyhitter.hashpipe import CebinaeFlowCache, ExactFlowCache
 from ..netsim.engine import Simulator
 from ..netsim.packet import FlowId, Packet
 from ..netsim.queues import QueueDisc
+from ..obs import bus as obs_bus
+from ..obs.events import CacheUpdate, LbfDecisionEvent, LbfRotation
 from .lbf import FlowGroup, LbfDecision, LeakyBucketFilter
 from .params import CebinaeParams
 
@@ -74,6 +76,21 @@ class CebinaeQueueDisc(QueueDisc):
         # agent clears the flag at the next successful reconfiguration.
         self.fail_open = False
         self.failopen_enqueues = 0
+        # Observability: emitters bound once at construction (None when
+        # the topic is off), so the disabled enqueue path pays one
+        # attribute test.  The flow cache gets its trace hook through a
+        # closure that stamps the simulation clock and port name the
+        # cache itself does not hold.
+        self._trace_lbf = obs_bus.emitter_for("lbf")
+        cache_emit = obs_bus.emitter_for("hashpipe")
+        if cache_emit is not None:
+            def cache_trace(action: str, flow: FlowId, stage: int,
+                            nbytes: int,
+                            _emit: obs_bus.Emitter = cache_emit) -> None:
+                _emit(CacheUpdate(time_ns=sim.now_ns, port=name,
+                                  action=action, flow=str(flow),
+                                  stage=stage, nbytes=nbytes))
+            self.cache.trace = cache_trace
 
     # -- classification --------------------------------------------------------
     def group_of(self, flow: FlowId) -> FlowGroup:
@@ -84,13 +101,20 @@ class CebinaeQueueDisc(QueueDisc):
     def enqueue(self, packet: Packet) -> bool:
         if self.byte_length + packet.size_bytes > self.buffer_bytes:
             self.buffer_drops += 1
-            self.record_drop(packet)
+            self.record_drop(packet, reason="buffer")
             return False
+        trace = self._trace_lbf
         if self.fail_open:
             # Degraded pass-through: straight into the head queue, no
             # LBF state updates (the rates are stale by definition).
             self.failopen_enqueues += 1
             queue_index = self.lbf.headq
+            if trace is not None:
+                trace(LbfDecisionEvent(
+                    time_ns=self.sim.now_ns, port=self.name,
+                    kind="failopen_enqueue", flow=str(packet.flow),
+                    group="aggregate", size_bytes=packet.size_bytes,
+                    queue_index=queue_index))
             queues = self._queues
             was_empty = not (queues[0] or queues[1])
             queues[queue_index].append(packet)
@@ -103,16 +127,31 @@ class CebinaeQueueDisc(QueueDisc):
             group = self.group_of(packet.flow)
             decision = self.lbf.admit(group, packet.size_bytes, now)
             self.lbf.track_total(packet.size_bytes)
+            group_name = group.value
         else:
             decision = self.lbf.admit_aggregate(packet.size_bytes, now)
+            group_name = "aggregate"
         if decision is LbfDecision.DROP:
             self.lbf_drops += 1
-            self.record_drop(packet)
+            if trace is not None:
+                trace(LbfDecisionEvent(
+                    time_ns=now, port=self.name, kind="drop",
+                    flow=str(packet.flow), group=group_name,
+                    size_bytes=packet.size_bytes, queue_index=-1))
+            self.record_drop(packet, reason="lbf")
             return False
         if decision is LbfDecision.TAIL:
             self.lbf_delays += 1
-            if self.params.ecn_marking and packet.mark_ce():
+            marked = self.params.ecn_marking and packet.mark_ce()
+            if marked:
                 self.ecn_marks += 1
+            if trace is not None:
+                trace(LbfDecisionEvent(
+                    time_ns=now, port=self.name,
+                    kind="mark" if marked else "delay",
+                    flow=str(packet.flow), group=group_name,
+                    size_bytes=packet.size_bytes,
+                    queue_index=1 - self.lbf.headq))
         queue_index = self.lbf.queue_for(decision)
         queues = self._queues
         was_empty = not (queues[0] or queues[1])
@@ -154,13 +193,21 @@ class CebinaeQueueDisc(QueueDisc):
     def rotate(self) -> int:
         """Advance the round; returns the retired queue index."""
         retired = self.lbf.headq
-        if self._queues[retired] and not self.fail_open:
+        residue = len(self._queues[retired])
+        if residue and not self.fail_open:
             # Equation (2) should make this impossible; count
             # violations.  Not a violation while failed open: the
             # pass-through path ignores the LBF pacing that Equation (2)
             # assumes.
             self.rotation_residue += 1
-        return self.lbf.rotate(self.sim.now_ns)
+        index = self.lbf.rotate(self.sim.now_ns)
+        trace = self._trace_lbf
+        if trace is not None:
+            trace(LbfRotation(time_ns=self.sim.now_ns, port=self.name,
+                              rotation=self.lbf.rotations,
+                              retired_queue=index,
+                              residue_packets=residue))
+        return index
 
     def enter_fail_open(self) -> None:
         """Degrade to pass-through FIFO (stale reconfiguration)."""

@@ -144,11 +144,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         # ``python tools/simlint.py``.
         from ..analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # ``cebinae-repro trace <scenario> --events <topics> --out
+        # <dir>``: run one scenario with the repro.obs trace bus on and
+        # write deterministic JSONL/packet-log/metrics artifacts.
+        from ..obs.cli import main as trace_main
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="cebinae-repro",
         description="Reproduce the Cebinae (SIGCOMM 2022) evaluation. "
                     "Also: 'cebinae-repro lint <paths>' runs the "
-                    "simlint determinism/unit-safety analyzer.")
+                    "simlint determinism/unit-safety analyzer; "
+                    "'cebinae-repro trace <scenario>' runs one "
+                    "scenario with structured event tracing on.")
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--quick", action="store_true",
                         help="short durations for smoke runs")

@@ -7,9 +7,10 @@ straight into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..heavyhitter.evaluation import DetectionResult
+from ..obs.events import ControlRound
 from .figures import (Figure1Result, Figure9Point, Figure10Result,
                       Figure11Result, Figure12Result, BarFigureResult)
 from .runner import Discipline
@@ -172,6 +173,44 @@ def faults_report(points: Sequence["FaultSweepPoint"]) -> str:
              "during the middle of the run; 'recovery s' is the time "
              "after the faults clear for per-second JFI to return to "
              "its pre-fault level")
+    return intro + "\n" + format_table(headers, rows)
+
+
+def control_timeline_report(rounds: Sequence[ControlRound],
+                            jfi_series: Optional[Sequence[float]] = None
+                            ) -> str:
+    """The per-``dT`` control-plane timeline, one row per round.
+
+    ``rounds`` is what a
+    :class:`~repro.obs.sinks.ControlTimelineSink` collected; with a
+    per-second ``jfi_series`` (``ScenarioResult.jfi_series()``) each
+    round also shows the fairness index of the second it landed in, so
+    rate decisions read directly against their fairness effect.
+    """
+    headers = ["t s", "port", "round", "kind", "sat", "util",
+               "top MB/s", "bottom MB/s", "|top|", "recomp"]
+    if jfi_series is not None:
+        headers.append("JFI")
+    rows: List[List[str]] = []
+    for record in rounds:
+        seconds = record.time_ns / 1e9
+        row = [f"{seconds:.3f}", record.port, str(record.round_index),
+               record.kind, "y" if record.saturated else "n",
+               f"{record.utilization:.2f}",
+               f"{record.top_rate_bytes_per_sec / 1e6:.3f}",
+               f"{record.bottom_rate_bytes_per_sec / 1e6:.3f}",
+               str(len(record.top_flows)),
+               "y" if record.recomputed else "n"]
+        if jfi_series is not None:
+            index = int(seconds)
+            row.append(f"{jfi_series[index]:.3f}"
+                       if 0 <= index < len(jfi_series) else "-")
+        rows.append(row)
+    fail_open = sum(1 for record in rounds
+                    if record.kind == "fail_open")
+    missed = sum(1 for record in rounds if record.kind == "missed")
+    intro = (f"Control-plane timeline: {len(rounds)} rounds, "
+             f"{fail_open} fail-open, {missed} missed")
     return intro + "\n" + format_table(headers, rows)
 
 

@@ -25,6 +25,8 @@ from ..netsim.packet import FlowId, MTU_BYTES
 from ..netsim.queues import DropTailQueue
 from ..netsim.topology import Dumbbell, build_dumbbell
 from ..netsim.tracing import FlowMonitor
+from ..obs import bus as obs_bus
+from ..obs import metrics as obs_metrics
 from ..tcp.flows import TcpFlow, connect_flow
 from .scenarios import ScaledScenario
 
@@ -190,6 +192,11 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
     schedule: Optional[FaultSchedule] = None
     cp_faults: Optional[ControlPlaneFaults] = None
     sim = Simulator()
+    trace_bus = obs_bus.current()
+    if trace_bus is not None:
+        # Clockless producers (queue discs) stamp records through the
+        # bus; bind before the topology is built so emitters resolve.
+        trace_bus.set_clock(sim)
     if faults is not None and faults.enabled:
         schedule = FaultSchedule(faults, sim)
         cp_faults = schedule.control_plane_faults()
@@ -285,6 +292,9 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
                 dumbbell.bottleneck.queue, "failopen_enqueues", 0)
             summary["control_plane"] = cp
         result.fault_summary = summary
+    registry = obs_metrics.current()
+    if registry is not None:
+        obs_metrics.record_scenario(registry, result)
     return result
 
 

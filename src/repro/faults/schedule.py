@@ -35,6 +35,8 @@ from ..netsim.engine import Simulator
 from ..netsim.link import Link
 from ..netsim.node import Node
 from ..netsim.tracing import FaultEvent
+from ..obs import bus as obs_bus
+from ..obs.events import FaultTraceEvent
 from .spec import FaultSpec, Window, merge_windows
 
 
@@ -178,6 +180,16 @@ class FaultSchedule:
         self._links: List[Link] = []
         self._nodes: List[Node] = []
         self._cp: Optional[ControlPlaneFaults] = None
+        # Observability: structural faults are folded onto the trace
+        # bus (topic "fault") as they land, mirroring the timeline.
+        self._trace_fault = obs_bus.emitter_for("fault")
+
+    def _timeline_append(self, event: FaultEvent) -> None:
+        self.timeline.append(event)
+        trace = self._trace_fault
+        if trace is not None:
+            trace(FaultTraceEvent(time_ns=event.time_ns, kind=event.kind,
+                                  target=event.target))
 
     # -- wiring ------------------------------------------------------------
     def control_plane_faults(self) -> Optional[ControlPlaneFaults]:
@@ -237,24 +249,24 @@ class FaultSchedule:
 
     # -- the scheduled fault events (profiled under FaultSchedule) ---------
     def _cut_link(self, link: Link) -> None:
-        self.timeline.append(FaultEvent(self.sim.now_ns, "link_down",
-                                        link.name))
+        self._timeline_append(FaultEvent(self.sim.now_ns, "link_down",
+                                         link.name))
         link.set_up(False)
 
     def _restore_link(self, link: Link) -> None:
-        self.timeline.append(FaultEvent(self.sim.now_ns, "link_up",
-                                        link.name))
+        self._timeline_append(FaultEvent(self.sim.now_ns, "link_up",
+                                         link.name))
         link.set_up(True)
 
     def _freeze_node(self, node: Node) -> None:
-        self.timeline.append(FaultEvent(self.sim.now_ns, "node_freeze",
-                                        node.name))
+        self._timeline_append(FaultEvent(self.sim.now_ns, "node_freeze",
+                                         node.name))
         node.set_frozen(True)
         self._nodes.append(node)
 
     def _restart_node(self, node: Node) -> None:
-        self.timeline.append(FaultEvent(self.sim.now_ns, "node_restart",
-                                        node.name))
+        self._timeline_append(FaultEvent(self.sim.now_ns, "node_restart",
+                                         node.name))
         node.set_frozen(False)
 
     # -- reporting ---------------------------------------------------------

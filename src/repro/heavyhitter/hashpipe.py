@@ -17,12 +17,19 @@ regardless of Python's string-hash randomisation.
 from __future__ import annotations
 
 import zlib
-from typing import (Dict, Generic, Hashable, List, Optional, Set,
-                    Tuple, TypeVar)
+from typing import (Callable, Dict, Generic, Hashable, List, Optional,
+                    Set, Tuple, TypeVar)
 
 #: The flow-key type a cache is instantiated over (FlowId in the
 #: simulator; tests use ints and strings).
 K = TypeVar("K", bound=Hashable)
+
+#: Observability hook signature: ``trace(action, key, stage, nbytes)``
+#: with ``action`` one of ``insert``/``hit``/``uncounted`` and ``stage``
+#: the claiming stage (-1 when no stage counted the packet).  The cache
+#: holds no clock, so the installer (CebinaeQueueDisc) closes over the
+#: simulation time and port name.
+CacheTrace = Callable[[str, K, int, int], None]
 
 
 def stage_hash(key: Hashable, salt: int) -> int:
@@ -50,9 +57,12 @@ class CebinaeFlowCache(Generic[K]):
             [0] * slots_per_stage for _ in range(stages)]
         self.uncounted_packets = 0
         self.uncounted_bytes = 0
+        #: Observability hook (installed by the queue disc; None = off).
+        self.trace: Optional[CacheTrace[K]] = None
 
     def update(self, key: K, nbytes: int) -> bool:
         """Account ``nbytes`` for ``key``.  False if no slot was free."""
+        trace = self.trace
         for stage in range(self.stages):
             index = stage_hash(key, self._salts[stage]) % \
                 self.slots_per_stage
@@ -60,12 +70,18 @@ class CebinaeFlowCache(Generic[K]):
             if occupant is None:
                 self._keys[stage][index] = key
                 self._counts[stage][index] = nbytes
+                if trace is not None:
+                    trace("insert", key, stage, nbytes)
                 return True
             if occupant == key:
                 self._counts[stage][index] += nbytes
+                if trace is not None:
+                    trace("hit", key, stage, nbytes)
                 return True
         self.uncounted_packets += 1
         self.uncounted_bytes += nbytes
+        if trace is not None:
+            trace("uncounted", key, -1, nbytes)
         return False
 
     def lookup(self, key: K) -> int:
@@ -120,9 +136,17 @@ class ExactFlowCache(Generic[K]):
         self._counts: Dict[K, int] = {}
         self.uncounted_packets = 0
         self.uncounted_bytes = 0
+        #: Observability hook (same contract as CebinaeFlowCache.trace).
+        self.trace: Optional[CacheTrace[K]] = None
 
     def update(self, key: K, nbytes: int) -> bool:
+        trace = self.trace
+        if trace is None:
+            self._counts[key] = self._counts.get(key, 0) + nbytes
+            return True
+        present = key in self._counts
         self._counts[key] = self._counts.get(key, 0) + nbytes
+        trace("hit" if present else "insert", key, 0, nbytes)
         return True
 
     def lookup(self, key: K) -> int:

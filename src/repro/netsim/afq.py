@@ -57,7 +57,7 @@ class AfqQueue(QueueDisc):
         if (self.limit_bytes is not None
                 and self._bytes + packet.size_bytes > self.limit_bytes):
             self.buffer_drops += 1
-            self.record_drop(packet)
+            self.record_drop(packet, reason="buffer")
             return False
         # The bid uses the flow's bytes *before* this packet (its first
         # byte's position in the ideal fair-queuing schedule); the
@@ -74,7 +74,7 @@ class AfqQueue(QueueDisc):
             # Beyond the calendar horizon: Equation (1) violated for
             # this flow; the packet cannot be scheduled fairly.
             self.horizon_drops += 1
-            self.record_drop(packet)
+            self.record_drop(packet, reason="horizon")
             return False
         was_empty = self._packets == 0
         self._queues[bid_round % self.num_queues].append(packet)

@@ -47,6 +47,7 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
 
 from ..analysis import invariants
 from ..analysis.invariants import require_int_ns
+from ..obs import metrics as obs_metrics
 from . import profiling
 
 #: One nanosecond, the base time unit of the engine.
@@ -447,3 +448,9 @@ class Simulator:
                 profiler.record_run(
                     self._now_ns - start_ns,
                     profiling.monotonic() - wall_start)
+            # Metrics are folded once per run (never per event), so the
+            # hot loop above is untouched whether a registry is active
+            # or not.
+            registry = obs_metrics.current()
+            if registry is not None:
+                registry.record_run(executed, self._now_ns - start_ns)

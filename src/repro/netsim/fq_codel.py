@@ -152,7 +152,7 @@ class FqCoDelQueue(QueueDisc):
         self._packets -= 1
         self._bytes -= victim.size_bytes
         self.overlimit_drops += 1
-        self.record_drop(victim)
+        self.record_drop(victim, reason="overlimit")
 
     def _codel_dequeue(self, queue: _FlowQueue) -> Optional[Packet]:
         """Dequeue from one flow queue, applying the CoDel state machine."""
@@ -171,7 +171,7 @@ class FqCoDelQueue(QueueDisc):
                     return packet
                 if now >= codel.drop_next_ns:
                     self.codel_drops += 1
-                    self.record_drop(packet)
+                    self.record_drop(packet, reason="codel")
                     codel.count += 1
                     codel.drop_next_ns = control_law(
                         codel.drop_next_ns, codel.interval_ns, codel.count)
@@ -182,7 +182,7 @@ class FqCoDelQueue(QueueDisc):
                            >= codel.interval_ns):
                 # Enter dropping state: drop this packet and schedule next.
                 self.codel_drops += 1
-                self.record_drop(packet)
+                self.record_drop(packet, reason="codel")
                 codel.dropping = True
                 delta = codel.count - codel.lastcount
                 if delta > 1 and now - codel.drop_next_ns < 16 * \

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..analysis.invariants import unwrap
+from ..obs import bus as obs_bus
+from ..obs.events import PacketTx
 from .engine import SECOND, Simulator
 from .packet import Packet
 from .queues import QueueDisc
@@ -56,6 +58,10 @@ class Link:
         self._up = True
         self._fault_state: Optional["LinkFaultState"] = None
         self._impaired = False
+        # Observability: the packet-topic emitter is bound once here
+        # (None when tracing is off), so the per-packet cost of the
+        # disabled path is one attribute test in _finish_transmission.
+        self._trace_pkt = obs_bus.emitter_for("packet")
         self.rate_bps = rate_bps
         self.queue = queue
 
@@ -71,6 +77,8 @@ class Link:
         # silently feeding the old queue disc.
         self._queue = queue
         self._on_transmit = getattr(queue, "on_transmit", None)
+        # Drops recorded by the queue disc are attributed to this port.
+        queue.obs_name = self.name
         queue.set_waker(self._on_queue_ready)
 
     @property
@@ -160,6 +168,14 @@ class Link:
         hook = self._on_transmit
         if hook is not None:
             hook(packet)
+        trace = self._trace_pkt
+        if trace is not None:
+            trace(PacketTx(time_ns=self.sim.now_ns, port=self.name,
+                           flow=str(packet.flow),
+                           ptype=packet.ptype.value,
+                           size_bytes=packet.size_bytes,
+                           seq=packet.seq, ack=packet.ack,
+                           ecn=packet.ecn.name))
         if self._impaired:
             self._deliver_impaired(packet)
         else:

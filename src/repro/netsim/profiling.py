@@ -34,6 +34,11 @@ from typing import Any, Callable, Dict, Iterator, Optional
 #: Nanoseconds per second (kept local: the engine imports this module).
 _NS_PER_SEC = 1_000_000_000
 
+#: Version of the profile/BENCH JSON layout.  Bump when a field is
+#: renamed, retyped, or removed; CI artifacts stay comparable across
+#: PRs only within one schema version.
+SCHEMA_VERSION = 1
+
 
 def component_of(callback: Callable[..., Any]) -> str:
     """The profile bucket for a callback: owning class or module."""
@@ -87,6 +92,7 @@ class ProfileReport:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "events": self.events,
             "runs": self.runs,
             "wall_s": self.wall_s,
@@ -96,6 +102,22 @@ class ProfileReport:
             "component_events": dict(sorted(
                 self.component_events.items())),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProfileReport":
+        """Rebuild a report from :meth:`to_dict` output (round-trip)."""
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"profile schema_version {version!r} is not "
+                f"{SCHEMA_VERSION}")
+        return cls(
+            events=data["events"],
+            wall_s=data["wall_s"],
+            sim_s=data["sim_s"],
+            runs=data["runs"],
+            component_events=dict(data["component_events"]),
+        )
 
     def to_bench_json(self, name: str) -> Dict[str, Any]:
         """The profile in the ``BENCH_*.json`` (pytest-benchmark) shape.
@@ -193,7 +215,27 @@ def write_bench_json(path: str, name: str, report: ProfileReport) -> None:
         handle.write("\n")
 
 
+def load_bench_json(path: str) -> Dict[str, ProfileReport]:
+    """Round-trip loader for :func:`write_bench_json` artifacts.
+
+    Returns the profiles keyed by benchmark name, so CI comparisons can
+    diff ``BENCH_*.json`` files from different PRs field by field.
+    Entries from other groups (raw pytest-benchmark results) are
+    skipped — only ``group == "profile"`` rows carry profile payloads.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    reports: Dict[str, ProfileReport] = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("group") != "profile":
+            continue
+        reports[entry["name"]] = ProfileReport.from_dict(
+            entry["extra_info"])
+    return reports
+
+
 __all__ = [
-    "HotPathProfiler", "ProfileReport", "component_of", "current",
-    "disable", "enable", "monotonic", "profiled", "write_bench_json",
+    "HotPathProfiler", "ProfileReport", "SCHEMA_VERSION", "component_of",
+    "current", "disable", "enable", "load_bench_json", "monotonic",
+    "profiled", "write_bench_json",
 ]

@@ -15,7 +15,14 @@ from __future__ import annotations
 import collections
 from typing import Callable, Deque, Optional
 
+from ..obs import bus as obs_bus
+from ..obs.events import QueueDrop
 from .packet import MTU_BYTES, Packet
+
+
+def _no_clock() -> int:
+    """Timestamp source when no trace bus is installed (never traced)."""
+    return 0
 
 
 class QueueDisc:
@@ -39,6 +46,17 @@ class QueueDisc:
         self._waker: Optional[Callable[[], None]] = None
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        # Observability: bound once at construction (trace bus must be
+        # installed before the topology is built).  ``obs_name`` is
+        # overwritten by Link's queue setter with the port name; the
+        # bus clock substitutes for a ``sim`` reference, which queue
+        # discs deliberately do not hold.
+        self.obs_name = type(self).__name__
+        bus = obs_bus.current()
+        self._trace_drop = bus.emitter("queue") if bus is not None \
+            else None
+        self._obs_now: Callable[[], int] = bus.now_ns \
+            if bus is not None else _no_clock
 
     def set_waker(self, waker: Callable[[], None]) -> None:
         """Register the link restart callback."""
@@ -61,10 +79,15 @@ class QueueDisc:
     def byte_length(self) -> int:
         raise NotImplementedError
 
-    def record_drop(self, packet: Packet) -> None:
+    def record_drop(self, packet: Packet, reason: str = "tail") -> None:
         """Account a dropped packet (shared bookkeeping for subclasses)."""
         self.dropped_packets += 1
         self.dropped_bytes += packet.size_bytes
+        trace = self._trace_drop
+        if trace is not None:
+            trace(QueueDrop(time_ns=self._obs_now(), port=self.obs_name,
+                            reason=reason, flow=str(packet.flow),
+                            size_bytes=packet.size_bytes))
 
 
 class DropTailQueue(QueueDisc):

@@ -1,0 +1,34 @@
+"""repro.obs: stack-wide observability (trace bus, metrics, sinks).
+
+Three pieces:
+
+* :mod:`repro.obs.bus` — the :class:`~repro.obs.bus.TraceBus`, a
+  topic-routed delivery path for typed, frozen trace records that is a
+  no-op when no bus is installed (the default);
+* :mod:`repro.obs.events` — the record taxonomy and JSONL schema;
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms with
+  versioned JSON snapshots, absorbing the PR 3 hot-path profiler;
+* :mod:`repro.obs.sinks` — deterministic JSONL traces, pcap-style
+  per-port packet logs, and the control-plane timeline the report
+  layer prints next to JFI series.
+
+This package never imports the simulator or the experiments layer
+(``repro.obs.cli`` is the one exception and must be imported
+explicitly), so any component can depend on it without cycles.
+"""
+
+from . import bus, events, metrics, sinks
+from .bus import TraceBus, tracing
+from .events import (TRACE_SCHEMA_VERSION, TOPICS, SchemaError,
+                     TraceRecord, validate_record)
+from .metrics import METRICS_SCHEMA_VERSION, MetricsRegistry, collected
+from .sinks import (ControlTimelineSink, JsonlTraceSink, MemorySink,
+                    PacketLogSink)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION", "TOPICS", "TRACE_SCHEMA_VERSION",
+    "ControlTimelineSink", "JsonlTraceSink", "MemorySink",
+    "MetricsRegistry", "PacketLogSink", "SchemaError", "TraceBus",
+    "TraceRecord", "bus", "collected", "events", "metrics", "sinks",
+    "tracing", "validate_record",
+]

@@ -1,0 +1,153 @@
+"""``cebinae-repro trace <scenario>``: run one scenario with tracing on.
+
+The one place in :mod:`repro.obs` allowed to import the experiments
+layer (see the package docstring).  It builds a figure-class scenario,
+installs a :class:`~repro.obs.bus.TraceBus` with file sinks *before*
+the topology is constructed (the binding contract of the bus), runs the
+scenario, and writes a deterministic artifact directory::
+
+    <out>/result.json             the ScenarioResult payload
+    <out>/trace.jsonl             one record per line, event order
+    <out>/control_timeline.jsonl  the per-dT control rounds alone
+    <out>/pkts_<port>.log         per-port packet logs (packet topic)
+    <out>/metrics.json            registry snapshot (--metrics-json)
+
+Every file is byte-identical across repeated runs with the same
+arguments, on either scheduler backend — that is what the CI
+``obs-smoke`` job replays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..experiments.runner import Discipline, run_scenario
+from ..experiments.scenarios import DEFAULT_POLICY, ScenarioSpec
+from . import bus as obs_bus
+from . import metrics as obs_metrics
+from .events import TOPICS
+from .sinks import (ControlTimelineSink, JsonlTraceSink, PacketLogSink,
+                    _JSON_KWARGS)
+
+#: Paper scenarios the trace CLI can rebuild (figure-9-class default).
+SCENARIOS = ("figure1", "figure7", "figure9")
+
+
+def build_spec(scenario: str, duration_s: float,
+               rtt_ms: float) -> ScenarioSpec:
+    """The paper-scale spec for one traceable scenario."""
+    if scenario == "figure1":
+        return ScenarioSpec(name="figure1", rate_bps=100e6,
+                            rtts_ms=(20.4, 40.0), buffer_mtus=350,
+                            cca_mix=(("newreno", 1), ("newreno", 1)),
+                            duration_s=duration_s)
+    if scenario == "figure7":
+        return ScenarioSpec(name="figure7", rate_bps=100e6,
+                            rtts_ms=(100,), buffer_mtus=850,
+                            cca_mix=(("vegas", 16), ("newreno", 1)),
+                            duration_s=duration_s)
+    if scenario == "figure9":
+        return ScenarioSpec(name=f"figure9_rtt{int(rtt_ms)}",
+                            rate_bps=400e6,
+                            rtts_ms=(256.0, float(rtt_ms)),
+                            buffer_mtus=2000,
+                            cca_mix=(("cubic", 4), ("cubic", 4)),
+                            duration_s=duration_s)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def parse_topics(spec: str) -> List[str]:
+    """``--events`` parser: comma-separated topics, or ``all``."""
+    if spec == "all":
+        return list(TOPICS)
+    topics = [token.strip() for token in spec.split(",") if token.strip()]
+    for topic in topics:
+        if topic not in TOPICS:
+            raise argparse.ArgumentTypeError(
+                f"unknown topic {topic!r}; choose from "
+                f"{', '.join(TOPICS)} or 'all'")
+    if not topics:
+        raise argparse.ArgumentTypeError("no topics given")
+    return topics
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cebinae-repro trace",
+        description="Run one scenario with structured tracing enabled "
+                    "and write deterministic JSONL/metrics artifacts.")
+    parser.add_argument("scenario", choices=SCENARIOS)
+    parser.add_argument("--discipline", default="cebinae",
+                        choices=[d.value for d in Discipline])
+    parser.add_argument("--events", type=parse_topics, default="all",
+                        help="comma-separated trace topics "
+                             f"({', '.join(TOPICS)}) or 'all'")
+    parser.add_argument("--out", default="trace-out", metavar="DIR",
+                        help="artifact directory (created if missing)")
+    parser.add_argument("--metrics-json", action="store_true",
+                        help="also snapshot the metrics registry to "
+                             "<out>/metrics.json")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        metavar="SECONDS")
+    parser.add_argument("--rtt-ms", type=float, default=64.0,
+                        help="figure9 only: the swept flow group's RTT")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    topics = args.events if isinstance(args.events, list) \
+        else parse_topics(args.events)
+    spec = build_spec(args.scenario, args.duration, args.rtt_ms)
+    scaled = DEFAULT_POLICY.apply(spec)
+    os.makedirs(args.out, exist_ok=True)
+
+    bus = obs_bus.TraceBus()
+    bus.subscribe(topics, JsonlTraceSink(
+        os.path.join(args.out, "trace.jsonl")))
+    if "packet" in topics:
+        bus.subscribe("packet", PacketLogSink(args.out))
+    timeline: Optional[ControlTimelineSink] = None
+    if "control" in topics:
+        timeline = ControlTimelineSink()
+        bus.subscribe("control", timeline)
+
+    registry = obs_metrics.enable()
+    try:
+        with obs_bus.tracing(bus):
+            result = run_scenario(scaled, Discipline(args.discipline),
+                                  collect_series=True,
+                                  record_history=True, seed=args.seed)
+    finally:
+        obs_metrics.disable()
+        bus.close()
+
+    with open(os.path.join(args.out, "result.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, **_JSON_KWARGS)
+        handle.write("\n")
+    if timeline is not None:
+        timeline.write_jsonl(
+            os.path.join(args.out, "control_timeline.jsonl"))
+    if args.metrics_json:
+        registry.write_json(os.path.join(args.out, "metrics.json"))
+
+    print(f"{result.name} [{result.discipline.value}] "
+          f"JFI={result.jfi:.3f} "
+          f"throughput={result.throughput_bps / 1e6:.2f} Mbps "
+          f"events={result.events}")
+    delivered = ", ".join(f"{topic}={bus.counts[topic]}"
+                          for topic in TOPICS if topic in bus.counts)
+    print(f"trace records: {delivered or 'none'}")
+    if timeline is not None and timeline.rounds:
+        from ..experiments.report import control_timeline_report
+        print(control_timeline_report(timeline.rounds,
+                                      jfi_series=result.jfi_series()))
+    print(f"[artifacts in {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

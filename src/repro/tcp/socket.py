@@ -35,6 +35,8 @@ from ..netsim.node import Host
 from ..netsim.packet import (ACK_BYTES, HEADER_BYTES, MSS_BYTES,
                              EcnCodepoint, FlowId, Packet, PacketType)
 from ..netsim.tracing import FlowMonitor
+from ..obs import bus as obs_bus
+from ..obs.events import TcpStateEvent
 from .cca import AckContext, CongestionControl
 from .intervals import IntervalSet
 
@@ -131,12 +133,27 @@ class TcpSender:
         self.sent_segments = 0
         self.completed = False
         self.started = False
+        # Observability: cwnd samples and state transitions.  Bound
+        # once; the disabled path pays one attribute test per ACK.
+        self._trace_tcp = obs_bus.emitter_for("tcp")
         host.register_handler(flow.reversed(), self._on_ack_packet)
+
+    def _trace_state(self, kind: str) -> None:
+        """Emit one TcpStateEvent (only called when the topic is on)."""
+        trace = self._trace_tcp
+        if trace is not None:
+            trace(TcpStateEvent(time_ns=self.sim.now_ns,
+                                flow=str(self.flow), kind=kind,
+                                cwnd_bytes=self.cca.cwnd_bytes,
+                                snd_una=self.snd_una,
+                                snd_nxt=self.snd_nxt))
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
         """Begin transmitting (call at the flow's start time)."""
         self.started = True
+        if self._trace_tcp is not None:
+            self._trace_state("start")
         self._try_send()
 
     @property
@@ -296,6 +313,8 @@ class TcpSender:
         if self.in_flight_bytes <= 0 or self.completed:
             return
         self.timeouts += 1
+        if self._trace_tcp is not None:
+            self._trace_state("rto")
         # RFC 5681 FlightSize: use the pipe estimate (lost bytes
         # excluded) — the raw sequence range is inflated by dead data
         # and would leave ssthresh far above what the path can hold.
@@ -368,6 +387,8 @@ class TcpSender:
         self.cca.on_ecn(self.sim.now_ns)
         self._ecn_recover_seq = self.snd_nxt
         self._cwr_pending = True
+        if self._trace_tcp is not None:
+            self._trace_state("ecn_backoff")
 
     def _collect_samples(
             self, ack: int) -> Tuple[Optional[int], Optional[float]]:
@@ -421,6 +442,8 @@ class TcpSender:
                     # ACK clock and must not jump (the jump would burst
                     # a full ssthresh of packets into the queue).
                     self.cca.on_exit_recovery(self.sim.now_ns)
+                if self._trace_tcp is not None:
+                    self._trace_state("exit_recovery")
             elif not self.sack_enabled:
                 # NewReno partial ACK: retransmit the next hole, deflate
                 # by the acked amount, re-inflate one MSS (RFC 6582).
@@ -440,6 +463,8 @@ class TcpSender:
                          in_recovery=self.in_recovery
                          and not self._rto_recovery)
         self.cca.on_ack(ctx)
+        if self._trace_tcp is not None:
+            self._trace_state("cwnd")
         if self.in_flight_bytes > 0:
             self._arm_rto()
         else:
@@ -456,6 +481,8 @@ class TcpSender:
             self._recover_seq = self.snd_nxt
             self.cca.on_enter_recovery(self.pipe_bytes,
                                        self.sim.now_ns)
+            if self._trace_tcp is not None:
+                self._trace_state("fast_recovery")
             if not self.sack_enabled:
                 self._inflation_bytes = DUPACK_THRESHOLD * MSS_BYTES
             self._retransmit_head()
@@ -468,6 +495,8 @@ class TcpSender:
         if (not self.completed and self.max_bytes is not None
                 and self.snd_una >= self.max_bytes):
             self.completed = True
+            if self._trace_tcp is not None:
+                self._trace_state("complete")
             self._disarm_rto()
             if self._pacing_event is not None:
                 self._pacing_event.cancel()

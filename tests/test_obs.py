@@ -1,0 +1,471 @@
+"""The repro.obs contract: tracing observes, never perturbs.
+
+Covers the trace bus lifecycle, record schema validation, the metrics
+registry round-trip, sink output, the off-path byte-identity guarantee
+for ``ScenarioResult`` JSON, trace determinism across runs, the
+control-plane timeline's every-round coverage, and the PR 5 satellite
+fixes (LinkMonitor horizon, TimeSeries edge bins, profiling schema
+round-trip, HashPipe trace hooks).
+"""
+
+import json
+
+import pytest
+
+from repro.core.control_plane import CebinaeParams
+from repro.experiments.report import control_timeline_report
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+from repro.heavyhitter.hashpipe import CebinaeFlowCache, ExactFlowCache
+from repro.netsim.engine import SECOND, Simulator
+from repro.netsim.profiling import (SCHEMA_VERSION, ProfileReport,
+                                    load_bench_json, write_bench_json)
+from repro.netsim.tracing import FlowMonitor, LinkMonitor, TimeSeries
+from repro.netsim.packet import FlowId
+from repro.obs import bus as obs_bus
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import (TOPICS, ControlRound, PacketTx, QueueDrop,
+                              SchemaError, TcpStateEvent,
+                              sorted_flow_strings, validate_record)
+from repro.obs.sinks import (ControlTimelineSink, JsonlTraceSink,
+                             MemorySink, PacketLogSink, encode_record)
+
+TINY_POLICY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def tiny_scaled(name="obs", duration_s=1.5):
+    spec = ScenarioSpec(name=name, rate_bps=100e6, rtts_ms=(20, 30),
+                        buffer_mtus=60,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    return TINY_POLICY.apply(spec)
+
+
+def result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_instrumentation():
+    """Every test starts and ends with tracing and metrics off."""
+    obs_bus.uninstall()
+    obs_metrics.disable()
+    yield
+    obs_bus.uninstall()
+    obs_metrics.disable()
+
+
+class TestBusLifecycle:
+    def test_no_bus_means_no_emitter(self):
+        assert obs_bus.current() is None
+        assert obs_bus.emitter_for("packet") is None
+
+    def test_unsubscribed_topic_has_no_emitter(self):
+        bus = obs_bus.TraceBus()
+        bus.subscribe("packet", MemorySink())
+        with obs_bus.tracing(bus):
+            assert obs_bus.emitter_for("packet") is not None
+            assert obs_bus.emitter_for("tcp") is None
+        assert obs_bus.current() is None
+
+    def test_emitter_counts_and_fans_out(self):
+        bus = obs_bus.TraceBus()
+        first, second = MemorySink(), MemorySink()
+        bus.subscribe("queue", first)
+        bus.subscribe(("queue", "lbf"), second)
+        emit = bus.emitter("queue")
+        record = QueueDrop(time_ns=5, port="p0", reason="tail",
+                           flow="f", size_bytes=1500)
+        emit(record)
+        assert first.records == [record]
+        assert second.records == [record]
+        assert bus.counts == {"queue": 1}
+        assert bus.topics() == ["queue", "lbf"]
+
+    def test_unknown_topic_rejected(self):
+        bus = obs_bus.TraceBus()
+        with pytest.raises(ValueError, match="unknown trace topic"):
+            bus.subscribe("packets", MemorySink())
+        with pytest.raises(ValueError, match="unknown trace topic"):
+            bus.emitter("nope")
+
+    def test_clock_binding(self):
+        bus = obs_bus.TraceBus()
+        assert bus.now_ns() == 0
+        sim = Simulator()
+        sim.schedule(7, lambda: None)
+        sim.run()
+        bus.set_clock(sim)
+        assert bus.now_ns() == sim.now_ns
+
+    def test_close_closes_each_sink_once(self):
+        bus = obs_bus.TraceBus()
+        sink = MemorySink()
+        bus.subscribe(("packet", "queue"), sink)
+        bus.close()
+        assert sink.closed
+
+
+class TestRecords:
+    def test_records_are_frozen(self):
+        record = PacketTx(time_ns=1, port="p", flow="f")
+        with pytest.raises(Exception):
+            record.time_ns = 2
+
+    def test_to_dict_tags_and_lists(self):
+        record = ControlRound(time_ns=3, port="p", round_index=1,
+                              top_flows=("a", "b"))
+        data = record.to_dict()
+        assert data["topic"] == "control"
+        assert data["type"] == "ControlRound"
+        assert data["top_flows"] == ["a", "b"]
+
+    def test_sorted_flow_strings(self):
+        flows = [FlowId(src=2, dst=1, src_port=9, dst_port=80,
+                        protocol="tcp"),
+                 FlowId(src=1, dst=2, src_port=8, dst_port=80,
+                        protocol="tcp")]
+        rendered = sorted_flow_strings(flows)
+        assert rendered == tuple(sorted(str(f) for f in flows))
+
+    def test_validate_record_round_trip(self):
+        for record in (PacketTx(time_ns=0, port="p", flow="f"),
+                       QueueDrop(time_ns=1, port="p", flow="f"),
+                       ControlRound(time_ns=2, port="p"),
+                       TcpStateEvent(time_ns=3, flow="f")):
+            data = json.loads(encode_record(record))
+            assert validate_record(data) is type(record)
+
+    def test_validate_record_errors(self):
+        good = json.loads(encode_record(PacketTx(time_ns=0, port="p")))
+        with pytest.raises(SchemaError, match="unknown record type"):
+            validate_record({**good, "type": "Bogus"})
+        with pytest.raises(SchemaError, match="topic"):
+            validate_record({**good, "topic": "queue"})
+        missing = dict(good)
+        del missing["seq"]
+        with pytest.raises(SchemaError, match="missing field"):
+            validate_record(missing)
+        with pytest.raises(SchemaError, match="is not"):
+            validate_record({**good, "size_bytes": "big"})
+        with pytest.raises(SchemaError, match="bool is not int"):
+            validate_record({**good, "seq": True})
+        with pytest.raises(SchemaError, match="unexpected fields"):
+            validate_record({**good, "extra": 1})
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("drops", port="p0").inc(3)
+        registry.counter("drops", port="p0").inc()
+        registry.gauge("util").set(0.5)
+        hist = registry.histogram("sizes", bounds=(10.0, 100.0))
+        hist.observe(10.0)   # boundary lands in its own bucket
+        hist.observe(11.0)
+        hist.observe(1000.0)  # overflow
+        assert registry.counter("drops", port="p0").value == 4
+        assert registry.gauge("util").value == 0.5
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            obs_metrics.Counter().inc(-1)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram(bounds=(1.0, 1.0))
+
+    def test_snapshot_round_trip(self, tmp_path):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("runs").inc(2)
+        registry.gauge("jfi", scenario="s").set(0.9)
+        registry.histogram("sizes", bounds=(1.0, 2.0)).observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["schema_version"] == \
+            obs_metrics.METRICS_SCHEMA_VERSION
+        assert obs_metrics.load_snapshot(snapshot).snapshot() == snapshot
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        assert obs_metrics.load_json(str(path)).snapshot() == snapshot
+
+    def test_load_snapshot_rejects_bad_version(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            obs_metrics.load_snapshot({"schema_version": 99})
+
+    def test_engine_records_run(self):
+        registry = obs_metrics.enable()
+        try:
+            sim = Simulator()
+            sim.schedule(10, lambda: None)
+            sim.run()
+        finally:
+            obs_metrics.disable()
+        assert registry.counter("sim_runs_total").value == 1
+        assert registry.counter("sim_events_total").value >= 1
+
+    def test_absorb_profile(self):
+        report = ProfileReport(events=10, wall_s=0.5, sim_s=2.0,
+                               runs=1, component_events={"Link": 10})
+        registry = obs_metrics.MetricsRegistry()
+        registry.absorb_profile(report)
+        assert registry.counter("profile_events_total").value == 10
+        assert registry.counter("profile_component_events_total",
+                                component="Link").value == 10
+
+
+class TestScenarioByteIdentity:
+    def test_tracing_off_vs_on_result_identical(self):
+        scaled = tiny_scaled()
+        plain = result_json(run_scenario(scaled, Discipline.CEBINAE,
+                                         collect_series=True))
+        bus = obs_bus.TraceBus()
+        sink = MemorySink()
+        bus.subscribe(TOPICS, sink)
+        with obs_bus.tracing(bus):
+            traced = result_json(run_scenario(scaled, Discipline.CEBINAE,
+                                              collect_series=True))
+        assert traced == plain
+        assert sink.records, "tracing on but nothing emitted"
+
+    def test_trace_stream_deterministic(self):
+        scaled = tiny_scaled()
+        streams = []
+        for _ in range(2):
+            bus = obs_bus.TraceBus()
+            sink = MemorySink()
+            bus.subscribe(TOPICS, sink)
+            with obs_bus.tracing(bus):
+                run_scenario(scaled, Discipline.CEBINAE)
+            streams.append([encode_record(r) for r in sink.records])
+        assert streams[0] == streams[1]
+        for line in streams[0]:
+            validate_record(json.loads(line))
+
+    def test_metrics_do_not_perturb_result(self):
+        scaled = tiny_scaled()
+        plain = result_json(run_scenario(scaled, Discipline.CEBINAE))
+        registry = obs_metrics.enable()
+        try:
+            metered = result_json(run_scenario(scaled,
+                                               Discipline.CEBINAE))
+        finally:
+            obs_metrics.disable()
+        assert metered == plain
+        rows = registry.snapshot()["gauges"]
+        assert any(row["name"] == "scenario_jain_index" for row in rows)
+
+
+class TestControlTimeline:
+    def run_traced(self, duration_s=1.5):
+        scaled = tiny_scaled(duration_s=duration_s)
+        bus = obs_bus.TraceBus()
+        timeline = ControlTimelineSink()
+        bus.subscribe("control", timeline)
+        with obs_bus.tracing(bus):
+            result = run_scenario(scaled, Discipline.CEBINAE,
+                                  collect_series=True)
+        return scaled, result, timeline
+
+    def test_every_round_recorded(self):
+        scaled, result, timeline = self.run_traced()
+        rounds = timeline.rounds
+        assert rounds, "no control rounds traced"
+        # One record per dT rotation, contiguously indexed from 1; the
+        # final rotation may land exactly at the horizon, so allow the
+        # count to be one short of duration/dT.
+        expected = int(scaled.spec.duration_s * SECOND
+                       / scaled.cebinae.dt_ns)
+        assert len(rounds) in (expected - 1, expected)
+        assert [r.round_index for r in rounds] == \
+            list(range(1, len(rounds) + 1))
+        assert all(r.kind in ("config", "fail_open", "missed")
+                   for r in rounds)
+
+    def test_report_renders_next_to_jfi(self, tmp_path):
+        _, result, timeline = self.run_traced()
+        text = control_timeline_report(timeline.rounds,
+                                       jfi_series=result.jfi_series())
+        assert "Control-plane timeline" in text
+        assert "JFI" in text
+        assert len(text.splitlines()) == len(timeline.rounds) + 3
+        assert timeline.format_text().startswith(
+            "Control-plane timeline")
+        path = tmp_path / "timeline.jsonl"
+        timeline.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(timeline.rounds)
+        for line in lines:
+            assert validate_record(json.loads(line)) is ControlRound
+
+
+class TestSinks:
+    def test_jsonl_sink_writes_and_refuses_after_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        sink.accept(PacketTx(time_ns=1, port="p", flow="f"))
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.accept(PacketTx(time_ns=2, port="p", flow="f"))
+        [line] = path.read_text().splitlines()
+        assert validate_record(json.loads(line)) is PacketTx
+
+    def test_packet_log_sink_per_port(self, tmp_path):
+        sink = PacketLogSink(str(tmp_path))
+        sink.accept(PacketTx(time_ns=1_500_000_000, port="a->b",
+                             flow="f0", ptype="data", size_bytes=1500,
+                             seq=7, ack=0, ecn="NOT_ECT"))
+        sink.accept(PacketTx(time_ns=2, port="b->a", flow="f1",
+                             ptype="ack", size_bytes=64))
+        sink.accept(QueueDrop(time_ns=3, port="a->b"))  # ignored
+        sink.close()
+        log_a = (tmp_path / "pkts_a-_b.log").read_text()
+        assert log_a == ("1.500000000 f0 data seq=7 ack=0 "
+                         "len=1500 ecn=NOT_ECT\n")
+        assert (tmp_path / "pkts_b-_a.log").exists()
+
+
+class TestHashPipeTraceHook:
+    def test_cebinae_cache_reports_outcomes(self):
+        cache = CebinaeFlowCache(stages=1, slots_per_stage=1)
+        seen = []
+        cache.trace = lambda *args: seen.append(args)
+        cache.update("a", 100)
+        cache.update("a", 50)
+        cache.update("b", 10)  # collides or inserts; never silent
+        kinds = [entry[0] for entry in seen]
+        assert kinds[0] == "insert"
+        assert kinds[1] == "hit"
+        assert kinds[2] in ("insert", "hit", "uncounted")
+        assert len(seen) == 3
+
+    def test_exact_cache_reports_outcomes(self):
+        cache = ExactFlowCache()
+        seen = []
+        cache.trace = lambda *args: seen.append(args)
+        assert cache.update("a", 100)
+        assert cache.update("a", 50)
+        assert [entry[0] for entry in seen] == ["insert", "hit"]
+        # And the traceless fast path still counts.
+        plain = ExactFlowCache()
+        assert plain.update("a", 1)
+
+
+class TestLinkMonitorHorizon:
+    class _FakeLink:
+        def __init__(self):
+            self.tx_bytes = 0
+
+    def test_monitor_stops_at_horizon(self):
+        sim = Simulator()
+        link = self._FakeLink()
+        monitor = LinkMonitor(sim, [link], bin_width_ns=SECOND,
+                              horizon_ns=3 * SECOND)
+        link.tx_bytes = 100
+        sim.run()  # drains: the monitor must not reschedule forever
+        assert sim.now_ns == 3 * SECOND
+        assert monitor.series[link].total == 100
+
+    def test_unbounded_monitor_needs_run_until(self):
+        sim = Simulator()
+        monitor = LinkMonitor(sim, [self._FakeLink()],
+                              bin_width_ns=SECOND)
+        sim.run(until_ns=2 * SECOND)
+        assert sim.now_ns == 2 * SECOND
+        monitor.stop()
+        sim.run()  # now drains: the pending sample was cancelled
+        assert monitor._pending is None
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        monitor = LinkMonitor(sim, [], horizon_ns=0)
+        monitor.stop()
+        monitor.stop()
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            LinkMonitor(Simulator(), [], horizon_ns=-1)
+
+
+class TestTimeSeriesEdgeBins:
+    def test_dense_zero_and_negative_until(self):
+        series = TimeSeries(bin_width_ns=10)
+        series.add(5, 1.0)
+        assert series.dense(0) == []
+        assert series.dense(-10) == []
+
+    def test_bin_boundary_timestamps(self):
+        series = TimeSeries(bin_width_ns=10)
+        series.add(9, 1.0)   # last tick of bin 0
+        series.add(10, 2.0)  # first tick of bin 1
+        assert series.bin_value(0) == 1.0
+        assert series.bin_value(1) == 2.0
+        # until_ns on a boundary excludes the bin that starts there...
+        assert series.dense(10) == [1.0]
+        # ...and one tick past it includes it.
+        assert series.dense(11) == [1.0, 2.0]
+
+    def test_bin_value_of_empty_bin(self):
+        series = TimeSeries(bin_width_ns=10)
+        assert series.bin_value(3) == 0.0
+        assert series.total == 0.0
+
+
+class TestLbfSnapshot:
+    def test_snapshot_is_json_ready_and_deterministic(self):
+        from repro.core.lbf import FlowGroup, LeakyBucketFilter
+        lbf = LeakyBucketFilter(CebinaeParams(), capacity_bps=8e6)
+        lbf.bytes[FlowGroup.TOP] = 42.0
+        state = lbf.snapshot()
+        assert state["headq"] == 0
+        assert state["rotations"] == 0
+        assert state["bytes"] == {"top": 42.0, "bottom": 0.0}
+        assert len(state["rates_bytes_per_sec"]) == 2
+        assert state["rates_bytes_per_sec"][0]["top"] == 1e6
+        # JSON-ready and byte-stable under canonical encoding.
+        assert json.dumps(state, sort_keys=True) == \
+            json.dumps(lbf.snapshot(), sort_keys=True)
+
+
+class TestFlowMonitorUnregistered:
+    def test_unregistered_flow_yields_empty_series(self):
+        monitor = FlowMonitor(Simulator())
+        ghost = FlowId(src=1, dst=2, src_port=1, dst_port=2,
+                       protocol="tcp")
+        assert monitor.goodput_series_bps(ghost, 5 * SECOND) == []
+        assert monitor.goodputs_bps(SECOND) == {}
+
+
+class TestProfilingSchema:
+    def test_to_dict_carries_schema_version(self):
+        report = ProfileReport(events=1, wall_s=0.1, sim_s=1.0, runs=1,
+                               component_events={"Link": 1})
+        assert report.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_from_dict_round_trip(self):
+        report = ProfileReport(events=5, wall_s=0.25, sim_s=2.0,
+                               runs=2, component_events={"Link": 3,
+                                                         "TcpSender": 2})
+        rebuilt = ProfileReport.from_dict(report.to_dict())
+        assert rebuilt == report
+
+    def test_from_dict_rejects_bad_version(self):
+        report = ProfileReport(events=1, wall_s=0.1, sim_s=1.0, runs=1,
+                               component_events={})
+        data = report.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ProfileReport.from_dict(data)
+
+    def test_load_bench_json_round_trip(self, tmp_path):
+        report = ProfileReport(events=7, wall_s=0.5, sim_s=3.0, runs=1,
+                               component_events={"Link": 7})
+        path = tmp_path / "BENCH_profile.json"
+        write_bench_json(str(path), name="smoke", report=report)
+        loaded = load_bench_json(str(path))
+        assert loaded == {"smoke": report}

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI smoke test for the repro.obs subsystem (the ``obs-smoke`` job).
+
+Replays the observability contract on a figure-9-class scenario:
+
+1. **Off-path purity** — running with the trace bus installed produces
+   a ``ScenarioResult`` JSON byte-identical to a run without it, on
+   both scheduler backends: tracing observes the simulation, never
+   perturbs it.
+2. **Trace determinism** — with tracing on, repeated runs and both
+   scheduler backends emit byte-identical JSONL streams.
+3. **Schema validity** — every emitted line round-trips through
+   :func:`repro.obs.events.validate_record`.
+4. **Overhead accounting** — wall-clock for the plain, bus-installed
+   (all topics), and metrics-enabled runs lands in
+   ``BENCH_obs_overhead.json`` (pytest-benchmark envelope) so the
+   disabled-path ≤2% budget is reviewable per PR.
+
+Exit status 0 on success; any contract violation raises.
+
+Usage: PYTHONPATH=src python tools/obs_smoke.py [--duration 2.0]
+                                                [--out BENCH_obs_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import DEFAULT_POLICY, ScenarioSpec
+from repro.obs import bus as obs_bus
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import TOPICS, validate_record
+from repro.obs.sinks import MemorySink, encode_record
+
+
+def figure9_spec(duration_s: float) -> ScenarioSpec:
+    return ScenarioSpec(name="figure9_rtt64", rate_bps=400e6,
+                        rtts_ms=(256.0, 64.0), buffer_mtus=2000,
+                        cca_mix=(("cubic", 4), ("cubic", 4)),
+                        duration_s=duration_s)
+
+
+def run_once(duration_s: float, traced: bool,
+             scheduler: str) -> Tuple[str, List[str], float]:
+    """One scenario run: (result JSON, JSONL lines, wall seconds)."""
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    scaled = DEFAULT_POLICY.apply(figure9_spec(duration_s))
+    sink = MemorySink()
+    start = time.perf_counter()
+    if traced:
+        bus = obs_bus.TraceBus()
+        bus.subscribe(TOPICS, sink)
+        with obs_bus.tracing(bus):
+            result = run_scenario(scaled, Discipline.CEBINAE)
+        bus.close()
+    else:
+        result = run_scenario(scaled, Discipline.CEBINAE)
+    wall_s = time.perf_counter() - start
+    payload = json.dumps(result.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    return payload, [encode_record(r) for r in sink.records], wall_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--out", default="BENCH_obs_overhead.json")
+    args = parser.parse_args(argv)
+    duration = args.duration
+
+    # 1. Off-path purity: bus installed vs not, per scheduler backend.
+    plain: dict = {}
+    walls: dict = {}
+    for scheduler in ("heap", "calendar"):
+        plain[scheduler], lines, walls["plain", scheduler] = run_once(
+            duration, traced=False, scheduler=scheduler)
+        assert not lines
+    assert plain["heap"] == plain["calendar"], \
+        "ScenarioResult JSON differs across scheduler backends"
+
+    traced: dict = {}
+    trace_lines: dict = {}
+    for scheduler in ("heap", "calendar"):
+        traced[scheduler], trace_lines[scheduler], \
+            walls["traced", scheduler] = run_once(
+                duration, traced=True, scheduler=scheduler)
+        assert traced[scheduler] == plain[scheduler], \
+            f"tracing perturbed the {scheduler} run's ScenarioResult"
+        assert trace_lines[scheduler], "tracing on but no records"
+
+    # 2. Trace determinism: rerun + cross-backend byte identity.
+    rerun, rerun_lines, _ = run_once(duration, traced=True,
+                                     scheduler="heap")
+    assert rerun == traced["heap"]
+    assert rerun_lines == trace_lines["heap"], \
+        "trace JSONL differs between identical runs"
+    assert trace_lines["heap"] == trace_lines["calendar"], \
+        "trace JSONL differs across scheduler backends"
+
+    # 3. Schema validity of every emitted line.
+    for line in trace_lines["heap"]:
+        validate_record(json.loads(line))
+
+    # 4. Metrics-enabled run: registry populated, snapshot round-trips.
+    registry = obs_metrics.enable()
+    try:
+        start = time.perf_counter()
+        metered, _, _ = run_once(duration, traced=False,
+                                 scheduler="heap")
+        walls["metered", "heap"] = time.perf_counter() - start
+    finally:
+        obs_metrics.disable()
+    assert metered == plain["heap"], "metrics perturbed the run"
+    snapshot = registry.snapshot()
+    reloaded = obs_metrics.load_snapshot(snapshot)
+    assert reloaded.snapshot() == snapshot, \
+        "metrics snapshot does not round-trip"
+    assert registry.counter("sim_runs_total").value >= 1
+
+    bench = {"benchmarks": [{
+        "group": "obs",
+        "name": f"obs_smoke_figure9_{duration:g}s",
+        "extra_info": {
+            "duration_s": duration,
+            "records": len(trace_lines["heap"]),
+            "wall_plain_s": walls["plain", "heap"],
+            "wall_traced_s": walls["traced", "heap"],
+            "wall_metered_s": walls["metered", "heap"],
+            "traced_overhead_ratio":
+                walls["traced", "heap"] / walls["plain", "heap"],
+        },
+    }]}
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"obs smoke OK: {len(trace_lines['heap'])} records, "
+          f"result JSON byte-identical off/on and across backends; "
+          f"overhead written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
