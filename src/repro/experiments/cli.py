@@ -150,13 +150,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         # write deterministic JSONL/packet-log/metrics artifacts.
         from ..obs.cli import main as trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "suite":
+        # ``cebinae-repro suite <dir>``: run a directory of declarative
+        # scenario specs through the parallel executor, with optional
+        # golden-result conformance checking (see repro.suite).
+        from ..suite.cli import main as suite_main
+        return suite_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="cebinae-repro",
         description="Reproduce the Cebinae (SIGCOMM 2022) evaluation. "
                     "Also: 'cebinae-repro lint <paths>' runs the "
                     "simlint determinism/unit-safety analyzer; "
                     "'cebinae-repro trace <scenario>' runs one "
-                    "scenario with structured event tracing on.")
+                    "scenario with structured event tracing on; "
+                    "'cebinae-repro suite <dir>' runs a directory of "
+                    "declarative scenario specs with golden-result "
+                    "conformance checking.")
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--quick", action="store_true",
                         help="short durations for smoke runs")

@@ -495,6 +495,16 @@ def _scenario_task(spec: RunSpec) -> Task:
                 decode=ScenarioResult.from_dict)
 
 
+def scenario_task(spec: RunSpec) -> Task:
+    """The pool :class:`Task` for one scenario point.
+
+    Public so other layers (the declarative suite runner) can mix
+    scenario points with their own task kinds in a single
+    :func:`run_tasks` call while sharing the same cache fingerprints.
+    """
+    return _scenario_task(spec)
+
+
 def run_many(specs: Sequence[RunSpec], workers: Optional[int] = None,
              cache_dir: Union[str, Path, None] = None,
              use_cache: bool = True, retries: int = 1,

@@ -36,14 +36,46 @@ from ..netsim.packet import MSS_BYTES, MTU_BYTES
 from ..core.params import CebinaeParams
 
 
+def known_cca_names() -> Tuple[str, ...]:
+    """The CCA names a scenario may reference (sorted registry keys)."""
+    from ..tcp.flows import CCA_REGISTRY
+    return tuple(sorted(CCA_REGISTRY))
+
+
+def _require_cca(owner: str, cca: str) -> None:
+    from ..tcp.flows import CCA_REGISTRY
+    if not isinstance(cca, str) or cca.lower() not in CCA_REGISTRY:
+        known = ", ".join(known_cca_names())
+        raise ValueError(
+            f"{owner}: unknown CCA {cca!r}; known: {known}")
+
+
 @dataclass(frozen=True)
 class FlowPlan:
-    """One flow of a scenario, after mix expansion."""
+    """One flow of a scenario, after mix expansion.
+
+    Fields are validated at construction so a malformed plan fails
+    here, with the offending value named, rather than deep inside the
+    runner's topology build.
+    """
 
     index: int
     cca: str
     rtt_s: float
     start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        owner = f"flow plan #{self.index}"
+        if self.index < 0:
+            raise ValueError(f"{owner}: index must be >= 0")
+        _require_cca(owner, self.cca)
+        if not self.rtt_s > 0:
+            raise ValueError(
+                f"{owner}: rtt_s must be > 0, got {self.rtt_s!r}")
+        if self.start_time_s < 0:
+            raise ValueError(
+                f"{owner}: start_time_s must be >= 0, got "
+                f"{self.start_time_s!r}")
 
 
 @dataclass(frozen=True)
@@ -52,6 +84,11 @@ class ScenarioSpec:
 
     ``rtts_ms`` aligns with ``cca_mix``: one RTT per mix group (the
     common case in Table 2), one per flow, or a single value for all.
+
+    Construction validates every field (positive rate/duration/RTTs, a
+    non-empty mix of known CCAs, start times matching the flow count)
+    so degenerate scenarios are rejected with a clear message instead
+    of failing mid-simulation.
     """
 
     name: str
@@ -61,6 +98,48 @@ class ScenarioSpec:
     cca_mix: Tuple[Tuple[str, int], ...]
     duration_s: float = 60.0
     start_times_s: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        owner = f"scenario {self.name!r}"
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        if not self.rate_bps > 0:
+            raise ValueError(
+                f"{owner}: rate_bps must be > 0, got {self.rate_bps!r}")
+        if not self.rtts_ms:
+            raise ValueError(f"{owner}: rtts_ms must not be empty")
+        for rtt in self.rtts_ms:
+            if not rtt > 0:
+                raise ValueError(
+                    f"{owner}: every RTT must be > 0 ms, got {rtt!r}")
+        if self.buffer_mtus <= 0:
+            raise ValueError(
+                f"{owner}: buffer_mtus must be >= 1, got "
+                f"{self.buffer_mtus!r}")
+        if not self.cca_mix:
+            raise ValueError(
+                f"{owner}: cca_mix must not be empty (zero flows)")
+        for cca, count in self.cca_mix:
+            _require_cca(owner, cca)
+            if count < 1:
+                raise ValueError(
+                    f"{owner}: mix group {cca!r} needs count >= 1, "
+                    f"got {count!r}")
+        if not self.duration_s > 0:
+            raise ValueError(
+                f"{owner}: duration_s must be > 0, got "
+                f"{self.duration_s!r}")
+        self._per_group_rtts()  # RTT list must map onto the groups.
+        if self.start_times_s is not None:
+            if len(self.start_times_s) != self.total_flows:
+                raise ValueError(
+                    f"{owner}: {len(self.start_times_s)} start times "
+                    f"cannot map onto {self.total_flows} flows")
+            for start in self.start_times_s:
+                if start < 0:
+                    raise ValueError(
+                        f"{owner}: start times must be >= 0, got "
+                        f"{start!r}")
 
     @property
     def total_flows(self) -> int:

@@ -1,0 +1,127 @@
+"""Executing parking-lot suite specs as :class:`ScenarioResult` runs.
+
+Figure 11 drives :func:`~repro.netsim.topology.build_parking_lot`
+directly and returns its own result shape; the declarative suite needs
+the multi-bottleneck topology behind the *same* result type as every
+dumbbell run, so one golden-conformance harness covers both.  This
+module is that adapter: a module-level, picklable run function the
+pool executor and the result cache can treat exactly like
+:func:`~repro.experiments.runner.run_scenario`.
+
+Multi-bottleneck conventions (documented because ScenarioResult's
+fields were named for dumbbells):
+
+* ``throughput_bps`` sums the per-segment bottleneck transmit rates —
+  an aggregate across segments, not one link's rate;
+* ``lbf_drops``/``lbf_delays``/``buffer_drops`` likewise sum over the
+  per-segment queues;
+* ``cca_names`` lists the long flows first, then each cross group in
+  segment order — the same order as ``goodputs_bps``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.control_plane import cebinae_factory
+from ..core.params import CebinaeParams
+from ..experiments.runner import Discipline, ScenarioResult
+from ..netsim.fq_codel import fq_codel_factory
+from ..netsim.engine import SECOND, Simulator, seconds
+from ..netsim.queues import DropTailQueue, QueueDisc
+from ..netsim.topology import build_parking_lot
+from ..netsim.tracing import FlowMonitor
+from ..obs import bus as obs_bus
+from ..obs import metrics as obs_metrics
+from ..tcp.flows import TcpFlow, connect_flow
+from .spec import ParkingLotSpec
+
+
+def _queue_factory(discipline: Discipline, spec: ParkingLotSpec,
+                   cebinae: CebinaeParams):  # type: ignore[no-untyped-def]
+    if discipline is Discipline.FIFO:
+        return lambda qspec: DropTailQueue.from_mtu_count(
+            spec.buffer_mtus)
+    if discipline is Discipline.FQ:
+        return fq_codel_factory(
+            limit_packets=max(spec.buffer_mtus, 64))
+    if discipline is Discipline.CEBINAE:
+        return cebinae_factory(params=cebinae,
+                               buffer_mtus=spec.buffer_mtus)
+    raise ValueError(f"unknown discipline {discipline}")
+
+
+def run_parking_lot(spec: ParkingLotSpec, discipline_name: str,
+                    seed: int, cebinae: CebinaeParams,
+                    collect_series: bool = False) -> ScenarioResult:
+    """Run one parking-lot point under one discipline.
+
+    Deterministic in its arguments (the jitter RNG is seeded from
+    ``seed``), so results cache under the compiled run's fingerprint
+    like any dumbbell point.
+    """
+    discipline = Discipline(discipline_name)
+    sim = Simulator()
+    trace_bus = obs_bus.current()
+    if trace_bus is not None:
+        trace_bus.set_clock(sim)
+    lot = build_parking_lot(
+        num_long_flows=spec.num_long,
+        cross_flow_counts=[count for _, count in spec.cross_mix],
+        bottleneck_rate_bps=spec.rate_bps,
+        bottleneck_queue=_queue_factory(discipline, spec, cebinae),
+        access_delay_ns=int(spec.access_delay_ms * 1e6),
+        bottleneck_delay_ns=int(spec.bottleneck_delay_ms * 1e6),
+        sim=sim,
+        jitter_seed=seed)
+    monitor = FlowMonitor(sim)
+    flows: List[TcpFlow] = []
+    cca_names: List[str] = []
+    for index in range(spec.num_long):
+        flows.append(connect_flow(
+            lot.long_senders[index], lot.long_receivers[index],
+            spec.long_cca, monitor=monitor, src_port=10_000 + index))
+        cca_names.append(spec.long_cca.lower())
+    port = 20_000
+    for segment, (cca, count) in enumerate(spec.cross_mix):
+        for index in range(count):
+            flows.append(connect_flow(
+                lot.cross_senders[segment][index],
+                lot.cross_receivers[segment][index], cca,
+                monitor=monitor, src_port=port))
+            cca_names.append(cca.lower())
+            port += 1
+    duration_ns = seconds(spec.duration_s)
+    sim.run(until_ns=duration_ns)
+    goodputs = [monitor.goodputs_bps(duration_ns)[flow.flow_id]
+                for flow in flows]
+    series: Optional[List[List[float]]] = None
+    if collect_series:
+        series = [monitor.goodput_series_bps(flow.flow_id, duration_ns)
+                  for flow in flows]
+    queues: List[QueueDisc] = [link.queue for link in lot.bottlenecks]
+    result = ScenarioResult(
+        name=spec.name,
+        discipline=discipline,
+        duration_s=spec.duration_s,
+        sim_rate_bps=spec.rate_bps,
+        rate_scale=spec.paper_rate_bps / spec.rate_bps,
+        flow_scale=1.0,
+        cca_names=cca_names,
+        goodputs_bps=goodputs,
+        throughput_bps=sum(link.tx_bytes for link in lot.bottlenecks)
+        * 8 * SECOND / duration_ns,
+        events=sim.processed_events,
+        lbf_drops=sum(getattr(queue, "lbf_drops", 0)
+                      for queue in queues),
+        lbf_delays=sum(getattr(queue, "lbf_delays", 0)
+                       for queue in queues),
+        buffer_drops=sum(getattr(queue, "buffer_drops",
+                                 queue.dropped_packets)
+                         for queue in queues),
+        goodput_series_bps=series,
+    )
+    registry = obs_metrics.current()
+    if registry is not None:
+        obs_metrics.record_scenario(registry, result)
+    return result

@@ -1,0 +1,105 @@
+"""Loading directories of suite-spec documents.
+
+A suite directory holds one document per file — ``<name>.json`` always,
+``<name>.yaml``/``.yml`` when PyYAML is importable (the core toolchain
+never requires it).  The registry enforces the hygiene that keeps
+golden files trustworthy:
+
+* the file stem must equal the spec's ``name`` (so the golden file, the
+  spec file, and the report all agree on identity);
+* duplicate names across extensions are rejected;
+* iteration order is sorted by name, independent of filesystem order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from .spec import SpecError, SuiteSpec
+
+#: Extensions the registry recognises, in resolution order.
+SPEC_EXTENSIONS = (".json", ".yaml", ".yml")
+
+
+def _load_document(path: Path) -> Any:
+    if path.suffix == ".json":
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    try:
+        import yaml
+    except ImportError:
+        raise SpecError(
+            f"{path}: YAML specs need the optional PyYAML dependency; "
+            f"rewrite the spec as JSON or install pyyaml") from None
+    with open(path, "r", encoding="utf-8") as handle:
+        return yaml.safe_load(handle)
+
+
+def load_spec_file(path: Union[str, Path]) -> SuiteSpec:
+    """Parse one spec document, enforcing stem == spec name."""
+    path = Path(path)
+    if path.suffix not in SPEC_EXTENSIONS:
+        raise SpecError(
+            f"{path}: unrecognised spec extension {path.suffix!r}; "
+            f"expected one of {list(SPEC_EXTENSIONS)}")
+    try:
+        document = _load_document(path)
+    except ValueError as exc:
+        raise SpecError(f"{path}: not parseable: {exc}") from exc
+    spec = SuiteSpec.from_dict(document, source=str(path))
+    if spec.name != path.stem:
+        raise SpecError(
+            f"{path}: spec name {spec.name!r} must match the file "
+            f"stem {path.stem!r} (golden files are keyed by name)")
+    return spec
+
+
+class SuiteRegistry:
+    """An ordered collection of suite specs loaded from one directory."""
+
+    def __init__(self, specs: List[SuiteSpec]) -> None:
+        self._specs: Dict[str, SuiteSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise SpecError(
+                    f"duplicate suite spec name {spec.name!r}")
+            self._specs[spec.name] = spec
+        self._order = sorted(self._specs)
+
+    @classmethod
+    def from_directory(cls, directory: Union[str, Path]
+                       ) -> "SuiteRegistry":
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise SpecError(f"{directory}: not a suite directory")
+        paths = sorted(path for path in directory.iterdir()
+                       if path.suffix in SPEC_EXTENSIONS
+                       and path.is_file())
+        if not paths:
+            raise SpecError(
+                f"{directory}: no spec files "
+                f"({'/'.join(SPEC_EXTENSIONS)}) found")
+        return cls([load_spec_file(path) for path in paths])
+
+    def __iter__(self) -> Iterator[SuiteSpec]:
+        return (self._specs[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> SuiteSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SpecError(
+                f"unknown suite spec {name!r}; known: "
+                f"{self._order}") from None
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)

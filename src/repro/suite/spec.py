@@ -1,0 +1,685 @@
+"""The declarative scenario-spec format and its compiler.
+
+A *suite spec* is one JSON (or YAML) document describing a workload:
+a topology (dumbbell or parking lot), a flow mix, the disciplines to
+compare, an optional scale-policy override, optional fault injection,
+optional grid axes, and repeats with derived seeds.  Parsing is strict
+— unknown keys, wrong types, and degenerate values are rejected with
+the offending JSON path named — and the parsed document compiles into
+the existing execution machinery:
+
+* dumbbell specs become :class:`~repro.experiments.scenarios.ScenarioSpec`
+  objects scaled by a :class:`~repro.experiments.scenarios.ScalePolicy`
+  and wrapped into :class:`~repro.experiments.parallel.RunSpec` points,
+  so suite runs share cache fingerprints with the figure sweeps;
+* parking-lot specs become :func:`repro.suite.parking.run_parking_lot`
+  tasks with their own fingerprints.
+
+Determinism contract: a spec is a pure value.  Equal specs have equal
+:meth:`SuiteSpec.fingerprint` digests, ``from_dict(to_dict(s)) == s``
+holds field for field (``tests/test_scenario_specs.py`` pins both with
+hypothesis), and every compiled run is replayable byte-identically —
+which is what the golden-conformance harness asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.invariants import InvariantViolation
+from ..core.params import CebinaeParams
+from ..experiments.parallel import (RunSpec, Task, fingerprint,
+                                    scenario_task)
+from ..experiments.runner import Discipline, ScenarioResult
+from ..experiments.scenarios import (ScalePolicy, ScenarioSpec,
+                                     _require_cca)
+from ..faults.schedule import derive_seed
+from ..faults.spec import FaultSpec
+from ..netsim.packet import MTU_BYTES
+
+#: Bump when the document format changes incompatibly.
+SPEC_SCHEMA_VERSION = 1
+
+#: ScenarioSpec fields a ``grid`` section may sweep.
+GRID_FIELDS = ("rate_bps", "rtts_ms", "buffer_mtus", "cca_mix",
+               "duration_s")
+
+
+class SpecError(ValueError):
+    """A suite-spec document failed validation.
+
+    The message always names the document (``source``) and the JSON
+    path of the offending value, so a broken spec in a directory of
+    fifty is locatable without a debugger.
+    """
+
+
+def _fail(source: str, path: str, message: str) -> "SpecError":
+    return SpecError(f"{source}: {path}: {message}")
+
+
+def _expect_mapping(source: str, path: str, value: Any
+                    ) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise _fail(source, path, f"expected an object, got "
+                    f"{type(value).__name__}")
+    return value
+
+
+def _expect_keys(source: str, path: str, data: Mapping[str, Any],
+                 known: Sequence[str]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise _fail(source, path,
+                    f"unknown key(s) {unknown}; known: {sorted(known)}")
+
+
+def _expect_number(source: str, path: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(source, path, f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _expect_int(source: str, path: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(source, path, f"expected an integer, got {value!r}")
+    return value
+
+
+def _expect_bool(source: str, path: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise _fail(source, path, f"expected a boolean, got {value!r}")
+    return value
+
+
+def _expect_str(source: str, path: str, value: Any) -> str:
+    if not isinstance(value, str) or not value:
+        raise _fail(source, path,
+                    f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _parse_mix(source: str, path: str, value: Any
+               ) -> Tuple[Tuple[str, int], ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail(source, path,
+                    "expected a non-empty list of [cca, count] pairs")
+    mix: List[Tuple[str, int]] = []
+    for index, pair in enumerate(value):
+        here = f"{path}[{index}]"
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise _fail(source, here,
+                        f"expected a [cca, count] pair, got {pair!r}")
+        cca = _expect_str(source, f"{here}[0]", pair[0])
+        count = _expect_int(source, f"{here}[1]", pair[1])
+        mix.append((cca, count))
+    return tuple(mix)
+
+
+def _parse_floats(source: str, path: str, value: Any
+                  ) -> Tuple[float, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail(source, path, "expected a non-empty list of numbers")
+    return tuple(_expect_number(source, f"{path}[{i}]", v)
+                 for i, v in enumerate(value))
+
+
+# --------------------------------------------------------------------------
+# The parking-lot scenario document.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParkingLotSpec:
+    """A multi-bottleneck parking-lot workload (Figure 11's shape).
+
+    ``num_long`` long flows cross every segment; ``cross_mix[i]``
+    states the (cca, count) group entering at segment ``i``.  The
+    ``tau`` override, when set, replaces the policy-derived Cebinae
+    tax (Figure 11 itself needs a raised tax; see DESIGN.md §5.1).
+    """
+
+    name: str
+    rate_bps: float
+    buffer_mtus: int
+    num_long: int
+    long_cca: str
+    cross_mix: Tuple[Tuple[str, int], ...]
+    duration_s: float
+    access_delay_ms: float = 8.0
+    bottleneck_delay_ms: float = 4.0
+    paper_rate_bps: float = 100e6
+    tau: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        owner = f"parking lot {self.name!r}"
+        if not self.name:
+            raise ValueError("parking-lot name must not be empty")
+        for field_name in ("rate_bps", "duration_s", "access_delay_ms",
+                          "bottleneck_delay_ms", "paper_rate_bps"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ValueError(
+                    f"{owner}: {field_name} must be > 0, got {value!r}")
+        if self.buffer_mtus <= 0:
+            raise ValueError(
+                f"{owner}: buffer_mtus must be >= 1, got "
+                f"{self.buffer_mtus!r}")
+        if self.num_long < 1:
+            raise ValueError(
+                f"{owner}: num_long must be >= 1, got {self.num_long!r}")
+        _require_cca(owner, self.long_cca)
+        if not self.cross_mix:
+            raise ValueError(
+                f"{owner}: cross_mix must not be empty (the topology "
+                f"needs at least one bottleneck segment)")
+        for cca, count in self.cross_mix:
+            _require_cca(owner, cca)
+            if count < 1:
+                raise ValueError(
+                    f"{owner}: cross group {cca!r} needs count >= 1, "
+                    f"got {count!r}")
+        if self.tau is not None and not 0 < self.tau <= 1:
+            raise ValueError(
+                f"{owner}: tau must be in (0, 1], got {self.tau!r}")
+
+    def cebinae_params(self, policy: ScalePolicy) -> CebinaeParams:
+        """Cebinae parameters for this topology under ``policy``."""
+        max_rtt_s = (4 * self.access_delay_ms
+                     + 2 * len(self.cross_mix)
+                     * self.bottleneck_delay_ms) / 1e3
+        params = policy.cebinae_params(
+            self.rate_bps, self.buffer_mtus * MTU_BYTES,
+            max_rtt_s=max_rtt_s,
+            rate_scale=self.paper_rate_bps / self.rate_bps)
+        if self.tau is not None:
+            params = dataclasses.replace(
+                params, tau=self.tau,
+                delta_port=min(2 * self.tau, 0.16))
+        return params
+
+
+_PARKING_KEYS = ("rate_bps", "buffer_mtus", "num_long", "long_cca",
+                 "cross_mix", "duration_s", "access_delay_ms",
+                 "bottleneck_delay_ms", "paper_rate_bps", "tau")
+
+
+def _parse_parking(source: str, name: str, data: Mapping[str, Any]
+                   ) -> ParkingLotSpec:
+    path = "parking_lot"
+    _expect_keys(source, path, data, _PARKING_KEYS)
+    for key in ("rate_bps", "buffer_mtus", "num_long", "long_cca",
+                "cross_mix", "duration_s"):
+        if key not in data:
+            raise _fail(source, path, f"missing required key {key!r}")
+    kwargs: Dict[str, Any] = {
+        "name": name,
+        "rate_bps": _expect_number(source, f"{path}.rate_bps",
+                                   data["rate_bps"]),
+        "buffer_mtus": _expect_int(source, f"{path}.buffer_mtus",
+                                   data["buffer_mtus"]),
+        "num_long": _expect_int(source, f"{path}.num_long",
+                                data["num_long"]),
+        "long_cca": _expect_str(source, f"{path}.long_cca",
+                                data["long_cca"]),
+        "cross_mix": _parse_mix(source, f"{path}.cross_mix",
+                                data["cross_mix"]),
+        "duration_s": _expect_number(source, f"{path}.duration_s",
+                                     data["duration_s"]),
+    }
+    for key in ("access_delay_ms", "bottleneck_delay_ms",
+                "paper_rate_bps"):
+        if key in data:
+            kwargs[key] = _expect_number(source, f"{path}.{key}",
+                                         data[key])
+    if data.get("tau") is not None:
+        kwargs["tau"] = _expect_number(source, f"{path}.tau",
+                                       data["tau"])
+    try:
+        return ParkingLotSpec(**kwargs)
+    except ValueError as exc:
+        raise _fail(source, path, str(exc)) from exc
+
+
+def _parking_to_dict(spec: ParkingLotSpec) -> Dict[str, Any]:
+    return {
+        "rate_bps": spec.rate_bps,
+        "buffer_mtus": spec.buffer_mtus,
+        "num_long": spec.num_long,
+        "long_cca": spec.long_cca,
+        "cross_mix": [list(pair) for pair in spec.cross_mix],
+        "duration_s": spec.duration_s,
+        "access_delay_ms": spec.access_delay_ms,
+        "bottleneck_delay_ms": spec.bottleneck_delay_ms,
+        "paper_rate_bps": spec.paper_rate_bps,
+        "tau": spec.tau,
+    }
+
+
+# --------------------------------------------------------------------------
+# The dumbbell scenario document.
+# --------------------------------------------------------------------------
+
+_SCENARIO_KEYS = ("rate_bps", "rtts_ms", "buffer_mtus", "cca_mix",
+                  "duration_s", "start_times_s")
+
+
+def _parse_scenario(source: str, name: str, data: Mapping[str, Any]
+                    ) -> ScenarioSpec:
+    path = "scenario"
+    _expect_keys(source, path, data, _SCENARIO_KEYS)
+    for key in ("rate_bps", "rtts_ms", "buffer_mtus", "cca_mix",
+                "duration_s"):
+        if key not in data:
+            raise _fail(source, path, f"missing required key {key!r}")
+    starts = None
+    if data.get("start_times_s") is not None:
+        starts = _parse_floats(source, f"{path}.start_times_s",
+                               data["start_times_s"])
+    try:
+        return ScenarioSpec(
+            name=name,
+            rate_bps=_expect_number(source, f"{path}.rate_bps",
+                                    data["rate_bps"]),
+            rtts_ms=_parse_floats(source, f"{path}.rtts_ms",
+                                  data["rtts_ms"]),
+            buffer_mtus=_expect_int(source, f"{path}.buffer_mtus",
+                                    data["buffer_mtus"]),
+            cca_mix=_parse_mix(source, f"{path}.cca_mix",
+                               data["cca_mix"]),
+            duration_s=_expect_number(source, f"{path}.duration_s",
+                                      data["duration_s"]),
+            start_times_s=starts)
+    except SpecError:
+        raise
+    except ValueError as exc:
+        raise _fail(source, path, str(exc)) from exc
+
+
+def _scenario_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    return {
+        "rate_bps": spec.rate_bps,
+        "rtts_ms": list(spec.rtts_ms),
+        "buffer_mtus": spec.buffer_mtus,
+        "cca_mix": [list(pair) for pair in spec.cca_mix],
+        "duration_s": spec.duration_s,
+        "start_times_s": list(spec.start_times_s)
+        if spec.start_times_s is not None else None,
+    }
+
+
+# --------------------------------------------------------------------------
+# Grid axes and policy overrides.
+# --------------------------------------------------------------------------
+
+def _parse_grid(source: str, data: Mapping[str, Any]
+                ) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+    axes: List[Tuple[str, Tuple[Any, ...]]] = []
+    _expect_keys(source, "grid", data, GRID_FIELDS)
+    # Axis order follows the canonical GRID_FIELDS order, not the
+    # document's key order, so point numbering is key-order independent.
+    for field_name in GRID_FIELDS:
+        if field_name not in data:
+            continue
+        values = data[field_name]
+        if not isinstance(values, (list, tuple)) or not values:
+            raise _fail(source, f"grid.{field_name}",
+                        "expected a non-empty list of values")
+        converted: List[Any] = []
+        for index, value in enumerate(values):
+            here = f"grid.{field_name}[{index}]"
+            if field_name == "rtts_ms":
+                converted.append(_parse_floats(source, here, value))
+            elif field_name == "cca_mix":
+                converted.append(_parse_mix(source, here, value))
+            elif field_name == "buffer_mtus":
+                converted.append(_expect_int(source, here, value))
+            else:
+                converted.append(_expect_number(source, here, value))
+        axes.append((field_name, tuple(converted)))
+    return tuple(axes)
+
+
+def _grid_to_dict(grid: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+                  ) -> Dict[str, Any]:
+    def encode(field_name: str, value: Any) -> Any:
+        if field_name == "rtts_ms":
+            return list(value)
+        if field_name == "cca_mix":
+            return [list(pair) for pair in value]
+        return value
+
+    return {field_name: [encode(field_name, v) for v in values]
+            for field_name, values in grid}
+
+
+_POLICY_FIELDS = tuple(f.name for f in
+                       dataclasses.fields(ScalePolicy))
+
+
+def _parse_policy(source: str, data: Mapping[str, Any]) -> ScalePolicy:
+    _expect_keys(source, "policy", data, _POLICY_FIELDS)
+    kwargs: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key == "max_flows":
+            kwargs[key] = _expect_int(source, f"policy.{key}", value)
+        else:
+            kwargs[key] = _expect_number(source, f"policy.{key}", value)
+    return ScalePolicy(**kwargs)
+
+
+def _policy_to_dict(policy: ScalePolicy) -> Dict[str, Any]:
+    """Only the fields that differ from the defaults (sparse docs)."""
+    default = ScalePolicy()
+    return {f.name: getattr(policy, f.name)
+            for f in dataclasses.fields(ScalePolicy)
+            if getattr(policy, f.name) != getattr(default, f.name)}
+
+
+# --------------------------------------------------------------------------
+# Compiled runs.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledRun:
+    """One executable point of a suite spec.
+
+    Exactly one of ``runspec`` (dumbbell; shares fingerprints — and
+    hence cache entries — with the figure sweeps) and ``parking``
+    (a :func:`~repro.suite.parking.run_parking_lot` call) is set.
+    ``label`` is unique within the suite and keys the golden files.
+    """
+
+    label: str
+    runspec: Optional[RunSpec] = None
+    parking: Optional[Tuple[ParkingLotSpec, Discipline, int,
+                            CebinaeParams, bool]] = None
+
+    def fingerprint(self) -> str:
+        if self.runspec is not None:
+            return self.runspec.fingerprint()
+        assert self.parking is not None
+        spec, discipline, seed, params, collect_series = self.parking
+        return fingerprint("ScenarioResult", {
+            "parking_lot": spec, "discipline": discipline,
+            "seed": seed, "cebinae": params,
+            "collect_series": collect_series})
+
+    def task(self) -> Task:
+        if self.runspec is not None:
+            task = scenario_task(self.runspec)
+            return dataclasses.replace(task, label=self.label)
+        assert self.parking is not None
+        from .parking import run_parking_lot
+        spec, discipline, seed, params, collect_series = self.parking
+        return Task(fn=run_parking_lot,
+                    kwargs={"spec": spec,
+                            "discipline_name": discipline.value,
+                            "seed": seed, "cebinae": params,
+                            "collect_series": collect_series},
+                    label=self.label,
+                    fingerprint=self.fingerprint(),
+                    kind="ScenarioResult",
+                    encode=ScenarioResult.to_dict,
+                    decode=ScenarioResult.from_dict)
+
+
+# --------------------------------------------------------------------------
+# The suite spec itself.
+# --------------------------------------------------------------------------
+
+_TOP_KEYS = ("schema_version", "name", "description", "topology",
+             "scenario", "parking_lot", "grid", "policy", "disciplines",
+             "collect_series", "record_history", "repeats", "base_seed",
+             "faults")
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One parsed suite document, ready to compile.
+
+    ``scenario`` is set for dumbbell topologies, ``parking`` for
+    parking lots — exactly one of the two.  ``grid`` sweeps dumbbell
+    scenario fields (cartesian product, canonical axis order);
+    ``repeats`` replicates every point with seeds derived from
+    ``base_seed`` via :func:`repro.faults.schedule.derive_seed`.
+    """
+
+    name: str
+    scenario: Optional[ScenarioSpec] = None
+    parking: Optional[ParkingLotSpec] = None
+    description: str = ""
+    grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    policy: ScalePolicy = ScalePolicy()
+    disciplines: Tuple[Discipline, ...] = (Discipline.FIFO,
+                                           Discipline.CEBINAE)
+    collect_series: bool = False
+    record_history: bool = False
+    repeats: int = 1
+    base_seed: int = 0
+    faults: Optional[FaultSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("suite spec name must not be empty")
+        if (self.scenario is None) == (self.parking is None):
+            raise ValueError(
+                f"suite spec {self.name!r}: exactly one of 'scenario' "
+                f"and 'parking_lot' must be given")
+        if self.parking is not None and self.grid:
+            raise ValueError(
+                f"suite spec {self.name!r}: grid axes apply to "
+                f"dumbbell scenarios only")
+        if not self.disciplines:
+            raise ValueError(
+                f"suite spec {self.name!r}: disciplines must not be "
+                f"empty")
+        if len(set(self.disciplines)) != len(self.disciplines):
+            raise ValueError(
+                f"suite spec {self.name!r}: duplicate disciplines")
+        if self.repeats < 1:
+            raise ValueError(
+                f"suite spec {self.name!r}: repeats must be >= 1, got "
+                f"{self.repeats!r}")
+        if self.base_seed < 0:
+            raise ValueError(
+                f"suite spec {self.name!r}: base_seed must be >= 0")
+
+    # -- parsing and serialisation ---------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  source: str = "<spec>") -> "SuiteSpec":
+        data = _expect_mapping(source, "$", data)
+        _expect_keys(source, "$", data, _TOP_KEYS)
+        version = data.get("schema_version", SPEC_SCHEMA_VERSION)
+        if version != SPEC_SCHEMA_VERSION:
+            raise _fail(source, "schema_version",
+                        f"unsupported version {version!r} (this build "
+                        f"reads version {SPEC_SCHEMA_VERSION})")
+        if "name" not in data:
+            raise _fail(source, "$", "missing required key 'name'")
+        name = _expect_str(source, "name", data["name"])
+        topology = data.get("topology", "dumbbell")
+        if topology not in ("dumbbell", "parking_lot"):
+            raise _fail(source, "topology",
+                        f"expected 'dumbbell' or 'parking_lot', got "
+                        f"{topology!r}")
+        kwargs: Dict[str, Any] = {"name": name}
+        if "description" in data:
+            kwargs["description"] = data["description"]
+            if not isinstance(kwargs["description"], str):
+                raise _fail(source, "description",
+                            "expected a string")
+        if topology == "dumbbell":
+            if "scenario" not in data:
+                raise _fail(source, "$",
+                            "dumbbell specs need a 'scenario' section")
+            if "parking_lot" in data:
+                raise _fail(source, "parking_lot",
+                            "not allowed with topology 'dumbbell'")
+            kwargs["scenario"] = _parse_scenario(
+                source, name,
+                _expect_mapping(source, "scenario", data["scenario"]))
+        else:
+            if "parking_lot" not in data:
+                raise _fail(source, "$", "parking-lot specs need a "
+                            "'parking_lot' section")
+            if "scenario" in data or "grid" in data:
+                raise _fail(source, "$",
+                            "'scenario'/'grid' are not allowed with "
+                            "topology 'parking_lot'")
+            kwargs["parking"] = _parse_parking(
+                source, name,
+                _expect_mapping(source, "parking_lot",
+                                data["parking_lot"]))
+        if "grid" in data:
+            kwargs["grid"] = _parse_grid(
+                source, _expect_mapping(source, "grid", data["grid"]))
+        if "policy" in data:
+            kwargs["policy"] = _parse_policy(
+                source, _expect_mapping(source, "policy",
+                                        data["policy"]))
+        if "disciplines" in data:
+            raw = data["disciplines"]
+            if not isinstance(raw, (list, tuple)) or not raw:
+                raise _fail(source, "disciplines",
+                            "expected a non-empty list")
+            disciplines: List[Discipline] = []
+            for index, value in enumerate(raw):
+                try:
+                    disciplines.append(Discipline(value))
+                except ValueError:
+                    known = ", ".join(d.value for d in Discipline)
+                    raise _fail(source, f"disciplines[{index}]",
+                                f"unknown discipline {value!r}; known: "
+                                f"{known}") from None
+            kwargs["disciplines"] = tuple(disciplines)
+        for key in ("collect_series", "record_history"):
+            if key in data:
+                kwargs[key] = _expect_bool(source, key, data[key])
+        if "repeats" in data:
+            kwargs["repeats"] = _expect_int(source, "repeats",
+                                            data["repeats"])
+        if "base_seed" in data:
+            kwargs["base_seed"] = _expect_int(source, "base_seed",
+                                              data["base_seed"])
+        if data.get("faults") is not None:
+            try:
+                kwargs["faults"] = FaultSpec.from_dict(
+                    _expect_mapping(source, "faults", data["faults"]))
+            except SpecError:
+                raise
+            # InvariantViolation: FaultSpec field checks route through
+            # the invariants module, not plain ValueError.
+            except (TypeError, ValueError, InvariantViolation) as exc:
+                raise _fail(source, "faults", str(exc)) from exc
+        try:
+            return cls(**kwargs)
+        except SpecError:
+            raise
+        except ValueError as exc:
+            raise _fail(source, "$", str(exc)) from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready document; ``from_dict`` restores it losslessly."""
+        data: Dict[str, Any] = {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+        }
+        if self.description:
+            data["description"] = self.description
+        if self.scenario is not None:
+            data["topology"] = "dumbbell"
+            data["scenario"] = _scenario_to_dict(self.scenario)
+        else:
+            assert self.parking is not None
+            data["topology"] = "parking_lot"
+            data["parking_lot"] = _parking_to_dict(self.parking)
+        if self.grid:
+            data["grid"] = _grid_to_dict(self.grid)
+        policy = _policy_to_dict(self.policy)
+        if policy:
+            data["policy"] = policy
+        data["disciplines"] = [d.value for d in self.disciplines]
+        data["collect_series"] = self.collect_series
+        data["record_history"] = self.record_history
+        data["repeats"] = self.repeats
+        data["base_seed"] = self.base_seed
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
+
+    def fingerprint(self) -> str:
+        """A stable digest of the whole document.
+
+        Stamped into golden files so a stale golden (spec edited,
+        golden not regenerated) is distinguishable from a real
+        determinism break.
+        """
+        return fingerprint("SuiteSpec", {"doc": self.to_dict()})
+
+    # -- compilation ------------------------------------------------------
+    def _points(self) -> List[ScenarioSpec]:
+        """Grid expansion: one ScenarioSpec per grid point."""
+        assert self.scenario is not None
+        if not self.grid:
+            return [self.scenario]
+        points = [self.scenario]
+        for field_name, values in self.grid:
+            points = [dataclasses.replace(point, **{field_name: value})
+                      for point in points for value in values]
+        return [dataclasses.replace(point, name=f"{self.name}#p{index}")
+                for index, point in enumerate(points)]
+
+    def seeds(self, point_name: str) -> List[int]:
+        """Per-repeat seeds: the base, then derived children.
+
+        Repeat 0 uses ``base_seed`` unchanged so a one-repeat suite
+        point is fingerprint-identical to the same scenario run by the
+        figure sweeps (warm caches stay warm).
+        """
+        return [self.base_seed if index == 0
+                else derive_seed(self.base_seed, point_name, index)
+                for index in range(self.repeats)]
+
+    def compile(self) -> List[CompiledRun]:
+        """Expand grid x repeats x disciplines into executable runs."""
+        runs: List[CompiledRun] = []
+        if self.scenario is not None:
+            for point in self._points():
+                scaled = self.policy.apply(point)
+                for index, seed in enumerate(self.seeds(point.name)):
+                    for discipline in self.disciplines:
+                        label = f"{point.name}/{discipline.value}"
+                        if self.repeats > 1:
+                            label = f"{label}@rep{index}"
+                        runs.append(CompiledRun(
+                            label=label,
+                            runspec=RunSpec(
+                                scaled=scaled, discipline=discipline,
+                                collect_series=self.collect_series,
+                                record_history=self.record_history,
+                                seed=seed, faults=self.faults)))
+        else:
+            assert self.parking is not None
+            if self.faults is not None:
+                raise SpecError(
+                    f"suite spec {self.name!r}: fault injection is "
+                    f"not supported on parking-lot topologies yet")
+            params = self.parking.cebinae_params(self.policy)
+            for index, seed in enumerate(self.seeds(self.name)):
+                for discipline in self.disciplines:
+                    label = f"{self.name}/{discipline.value}"
+                    if self.repeats > 1:
+                        label = f"{label}@rep{index}"
+                    runs.append(CompiledRun(
+                        label=label,
+                        parking=(self.parking, discipline, seed,
+                                 params, self.collect_series)))
+        labels = [run.label for run in runs]
+        if len(set(labels)) != len(labels):
+            raise SpecError(
+                f"suite spec {self.name!r}: compiled labels collide "
+                f"({labels})")
+        return runs

@@ -1,0 +1,148 @@
+"""Edge cases of ScalePolicy and construction-time spec validation.
+
+Complements tests/test_experiments.py (happy-path scaling): here the
+guard rails — flow scaling versus staggered starts, the recorded
+scale factors the analysis layer divides by, and degenerate specs that
+must die at construction rather than mid-run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.scenarios import (FlowPlan, ScalePolicy,
+                                         ScenarioSpec)
+
+TINY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def spec(**overrides):
+    base = dict(name="t", rate_bps=100e6, rtts_ms=(20.0, 40.0),
+                buffer_mtus=100,
+                cca_mix=(("newreno", 2), ("cubic", 1)),
+                duration_s=2.0)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestFlowScaleGuards:
+    def test_flow_scaling_staggered_starts_rejected(self):
+        # Scaling 80 flows down to max_flows would silently drop or
+        # misalign the 80 per-flow start times; the policy must refuse.
+        staggered = spec(cca_mix=(("newreno", 80),), rtts_ms=(20.0,),
+                        start_times_s=tuple(0.01 * i for i in range(80)))
+        policy = dataclasses.replace(TINY, max_flows=8)
+        with pytest.raises(ValueError,
+                           match="flow-scale staggered-start"):
+            policy.apply(staggered)
+
+    def test_staggered_starts_fine_when_mix_fits(self):
+        staggered = spec(start_times_s=(0.0, 0.5, 1.0))
+        scaled = dataclasses.replace(TINY, max_flows=8).apply(staggered)
+        assert scaled.flow_scale == 1.0
+        assert scaled.spec.start_times_s == (0.0, 0.5, 1.0)
+
+
+class TestScaleRecording:
+    def test_rate_scale_is_paper_over_sim(self):
+        scaled = TINY.apply(spec())
+        assert scaled.rate_scale == pytest.approx(
+            scaled.paper_spec.rate_bps / scaled.spec.rate_bps)
+        assert scaled.rate_scale == pytest.approx(100e6 / 5e6)
+
+    def test_flow_scale_is_paper_over_sim_flows(self):
+        big = spec(cca_mix=(("newreno", 60), ("cubic", 20)),
+                   rtts_ms=(20.0, 40.0))
+        scaled = dataclasses.replace(TINY, max_flows=8).apply(big)
+        sim_flows = sum(count for _, count in scaled.spec.cca_mix)
+        assert scaled.flow_scale == pytest.approx(80 / sim_flows)
+        assert scaled.flow_scale > 1.0
+
+    def test_paper_spec_kept_verbatim(self):
+        original = spec()
+        scaled = TINY.apply(original)
+        assert scaled.paper_spec == original
+        assert scaled.spec.rate_bps == 5e6
+
+    def test_buffer_shrinks_with_rate_scale(self):
+        scaled = TINY.apply(spec(buffer_mtus=400))
+        assert scaled.spec.buffer_mtus == pytest.approx(
+            max(10, round(400 / scaled.rate_scale)))
+
+
+class TestDegenerateSpecsRejected:
+    def test_zero_flows_rejected(self):
+        with pytest.raises(ValueError, match="zero flows"):
+            spec(cca_mix=())
+
+    def test_zero_count_group_rejected(self):
+        with pytest.raises(ValueError, match="count >= 1"):
+            spec(cca_mix=(("newreno", 0),))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration_s must be > 0"):
+            spec(duration_s=0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration_s must be > 0"):
+            spec(duration_s=-1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate_bps must be > 0"):
+            spec(rate_bps=0.0)
+
+    def test_empty_rtts_rejected(self):
+        with pytest.raises(ValueError, match="rtts_ms"):
+            spec(rtts_ms=())
+
+    def test_nonpositive_rtt_rejected(self):
+        with pytest.raises(ValueError, match="every RTT must be > 0"):
+            spec(rtts_ms=(20.0, 0.0))
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(ValueError, match="buffer_mtus"):
+            spec(buffer_mtus=0)
+
+    def test_unknown_cca_rejected_with_known_list(self):
+        with pytest.raises(ValueError,
+                           match="unknown CCA 'reno'; known: bbr"):
+            spec(cca_mix=(("reno", 1),))
+
+    def test_rtt_group_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cannot map onto"):
+            spec(rtts_ms=(10.0, 20.0, 30.0))
+
+    def test_start_times_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="start times"):
+            spec(start_times_s=(0.0,))
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            spec(start_times_s=(0.0, 0.0, -0.5))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            spec(name="")
+
+
+class TestFlowPlanValidation:
+    def test_valid_plan_accepted(self):
+        plan = FlowPlan(index=0, cca="newreno", rtt_s=0.02)
+        assert plan.start_time_s == 0.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            FlowPlan(index=-1, cca="newreno", rtt_s=0.02)
+
+    def test_unknown_cca_rejected(self):
+        with pytest.raises(ValueError, match="unknown CCA"):
+            FlowPlan(index=0, cca="dctcp", rtt_s=0.02)
+
+    def test_nonpositive_rtt_rejected(self):
+        with pytest.raises(ValueError, match="rtt_s"):
+            FlowPlan(index=0, cca="newreno", rtt_s=0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start_time_s"):
+            FlowPlan(index=0, cca="newreno", rtt_s=0.02,
+                     start_time_s=-1.0)
