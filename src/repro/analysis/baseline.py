@@ -1,0 +1,204 @@
+"""Fingerprinted finding baselines for simlint.
+
+A baseline lets a tree adopt new analyzer passes without a flag-day
+cleanup: known findings are recorded once (each with a mandatory
+reason), CI fails only on *new* findings, and entries whose findings
+disappear are reported as stale (S904) so the baseline only ever
+shrinks deliberately.
+
+Fingerprints must survive unrelated edits, so they hash what a finding
+*is*, not where it currently sits:
+
+    sha256(rule id, normalized relative path,
+           stripped text of the flagged source line,
+           occurrence index among identical tuples)[:16]
+
+Line numbers are deliberately excluded — inserting a docstring above a
+flagged call must not invalidate the baseline — while the occurrence
+index keeps two identical offending lines in one file distinct.  The
+same fingerprint is exported as the SARIF ``partialFingerprints``
+value, so GitHub code scanning and the local baseline agree on
+finding identity.
+
+The file format (``.simlint-baseline.json``) is deterministic: entries
+sorted by fingerprint, stable key order, trailing newline — the same
+tree always serializes to the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+#: Format version written into the baseline file.
+BASELINE_VERSION = 1
+
+#: The partialFingerprints key shared with the SARIF exporter.
+FINGERPRINT_KEY = "simlintFingerprint/v1"
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed or has a bad version."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One baselined finding: identity plus the triage reason."""
+
+    fingerprint: str
+    rule_id: str
+    path: str
+    reason: str
+
+
+def normalize_path(path: str) -> str:
+    """Canonical posix-relative form of a finding path.
+
+    Fingerprints must agree between local runs and CI, so absolute
+    prefixes below the current working directory are stripped and
+    separators normalized.
+    """
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    text = p.as_posix()
+    return text[2:] if text.startswith("./") else text
+
+
+def fingerprint_findings(
+        findings: Sequence[Finding],
+        sources: Dict[str, str]) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``sources`` maps finding paths (as emitted) to file text; a path
+    with no source (should not happen in practice) hashes an empty
+    line, which still yields a usable identity.
+    """
+    lines_by_path: Dict[str, List[str]] = {}
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    result: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        if finding.path not in lines_by_path:
+            lines_by_path[finding.path] = \
+                sources.get(finding.path, "").splitlines()
+        lines = lines_by_path[finding.path]
+        text = lines[finding.line - 1].strip() \
+            if 1 <= finding.line <= len(lines) else ""
+        key = (finding.rule_id, normalize_path(finding.path), text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            "\x1f".join((key[0], key[1], key[2],
+                         str(index))).encode("utf-8")).hexdigest()
+        result.append((finding, digest[:16]))
+    return result
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Read and validate a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a simlint baseline with version "
+            f"{BASELINE_VERSION}")
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("entries", ()):
+        entries.append(BaselineEntry(
+            fingerprint=str(raw.get("fingerprint", "")),
+            rule_id=str(raw.get("rule", "")),
+            path=str(raw.get("path", "")),
+            reason=str(raw.get("reason", ""))))
+    return entries
+
+
+def render_baseline(entries: Sequence[BaselineEntry]) -> str:
+    """Deterministic serialization of a baseline (same tree, same bytes)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "entries": [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule": entry.rule_id,
+                "path": entry.path,
+                "reason": entry.reason,
+            }
+            for entry in sorted(entries,
+                                key=lambda e: (e.path, e.rule_id,
+                                               e.fingerprint))
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def apply_baseline(
+        fingerprinted: Sequence[Tuple[Finding, str]],
+        entries: Sequence[BaselineEntry],
+        baseline_path: Optional[Path] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, stale-baseline S904 findings).
+
+    Findings whose fingerprint appears in the baseline are dropped;
+    baseline entries that matched nothing become S904 findings
+    anchored at the baseline file itself, so a fixed hazard forces a
+    deliberate ``--update-baseline`` rather than rotting silently.
+    """
+    known = {entry.fingerprint for entry in entries}
+    matched: set = set()
+    kept: List[Finding] = []
+    for finding, fingerprint in fingerprinted:
+        if fingerprint in known:
+            matched.add(fingerprint)
+        else:
+            kept.append(finding)
+    stale: List[Finding] = []
+    anchor = str(baseline_path) if baseline_path else ".simlint-baseline.json"
+    for entry in sorted(entries, key=lambda e: (e.path, e.rule_id,
+                                                e.fingerprint)):
+        if entry.fingerprint not in matched:
+            stale.append(Finding(
+                path=anchor, line=1, col=1, rule_id="S904",
+                message=(
+                    f"baseline entry {entry.fingerprint} "
+                    f"({entry.rule_id} in {entry.path}) matches no "
+                    f"current finding")))
+    return kept, stale
+
+
+def updated_entries(
+        fingerprinted: Sequence[Tuple[Finding, str]],
+        previous: Sequence[BaselineEntry],
+) -> List[BaselineEntry]:
+    """Baseline entries for the current findings.
+
+    Reasons survive for fingerprints already present; new entries get
+    a placeholder reason that the S9xx philosophy says a human should
+    replace before committing.
+    """
+    reasons = {entry.fingerprint: entry.reason for entry in previous}
+    seen: set = set()
+    entries: List[BaselineEntry] = []
+    for finding, fingerprint in fingerprinted:
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        entries.append(BaselineEntry(
+            fingerprint=fingerprint,
+            rule_id=finding.rule_id,
+            path=normalize_path(finding.path),
+            reason=reasons.get(
+                fingerprint, "TODO: justify or fix this finding")))
+    return entries

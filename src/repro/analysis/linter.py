@@ -10,33 +10,56 @@ analysis-time gate.
 Architecture
 ------------
 
-* :mod:`repro.analysis.rules` declares the catalog (IDs, summaries,
-  fix-it hints).
-* :class:`_ModuleChecker` is a single :class:`ast.NodeVisitor` pass
-  implementing all D/U/H rules over one module; per-rule logic is in
-  ``_check_*`` methods so new rules plug in as additional visitors.
-* :func:`lint_source` / :func:`lint_paths` drive parsing, suppression
-  handling (``# simlint: allow[D101] reason``), and finding collection;
-  :mod:`repro.analysis.cli` renders text or JSON.
+simlint is a multi-pass framework.  This module is the driver; the
+passes and their shared machinery live in sibling modules:
 
-Findings are deliberately *syntactic and conservative*: the checker
-only flags what it can see locally (a set literal iterated in a dict
-comprehension, a float constant assigned to a ``_ns`` name), so a clean
-run is a meaningful invariant rather than a type-inference lottery.
+* :mod:`repro.analysis.rules` — the catalog (IDs, summaries, hints).
+* :mod:`repro.analysis.findings` — :class:`Finding`, suppression
+  parsing (``# simlint: allow[ID] reason``) and the S9xx audit.
+* :mod:`repro.analysis.astutil` — name/alias resolution and unit
+  classification shared by all passes.
+* :class:`_ModuleChecker` (here) — the single-module pass for the
+  local rules (D1xx determinism, U2xx token-level units, H3xx
+  hygiene).
+* :mod:`repro.analysis.unitcheck` — the flow-sensitive dimensional
+  unit pass (U4xx), fed by a project-wide signature index.
+* :mod:`repro.analysis.taint` — the project-wide determinism-taint
+  pass (D2xx) over the import/call graph, seeded by the *surviving*
+  D1xx findings.
+* :mod:`repro.analysis.baseline` / :mod:`repro.analysis.sarif` —
+  fingerprinted baselines and SARIF 2.1.0 export, layered on top by
+  :mod:`repro.analysis.cli`.
+
+The pipeline per run: parse everything → collect signatures project-
+wide → per-file module checker + unit pass → apply suppressions →
+taint pass over the whole graph → apply suppressions again → S9xx
+audit → sort.  Suppressions are applied *between* passes so an
+allow-comment both silences a local finding and stops it from seeding
+taint, and the audit sees ``used`` flags from every pass.
+
+Findings are deliberately *syntactic and conservative*: each pass
+only flags what it can prove from the AST (a set literal iterated in
+a dict comprehension, nanoseconds added to seconds, a call chain from
+``schedule()`` to ``time.time()``), so a clean run is a meaningful
+invariant rather than a type-inference lottery.
 """
 
 from __future__ import annotations
 
 import ast
-import io
-import re
-import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Dict, FrozenSet, Iterator, List, Optional,
-                    Sequence, Set, Tuple, Union)
+from typing import (Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
-from .rules import RULES
+from .astutil import call_name as _call_name
+from .astutil import module_name_for
+from .astutil import name_dim as _name_unit
+from .findings import (Finding, Suppression, apply_suppressions, audit,
+                       collect_suppressions)
+from .taint import extract_module, run_taint
+from .unitcheck import (UnitPass, collect_signatures,
+                        merge_signature_indexes)
 
 #: Wall-clock / host-clock callables (D103).  Monotonic and CPU clocks
 #: are included: *any* host clock read inside simulation logic breaks
@@ -111,97 +134,6 @@ SHADOW_SENSITIVE_BUILTINS = frozenset({
     "sorted", "tuple", "type", "next", "filter", "map", "range",
 })
 
-#: Unit suffixes, longest first so ``_ns`` does not match inside
-#: ``_seconds`` etc.  Maps suffix -> canonical unit.
-_UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
-    ("_seconds", "s"), ("_secs", "s"), ("_sec", "s"),
-    ("_ns", "ns"), ("_us", "us"), ("_ms", "ms"), ("_s", "s"),
-)
-
-_SUPPRESSION_RE = re.compile(
-    r"#\s*simlint:\s*allow\[([A-Za-z0-9,\s]+)\]\s*(.*)$")
-
-
-@dataclass
-class Finding:
-    """One analyzer finding, renderable as ``file:line rule message``."""
-
-    path: str
-    line: int
-    col: int
-    rule_id: str
-    message: str
-    end_line: Optional[int] = None
-
-    @property
-    def hint(self) -> str:
-        return RULES[self.rule_id].hint
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col} " \
-               f"{self.rule_id} {self.message}"
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule_id,
-            "name": RULES[self.rule_id].name,
-            "message": self.message,
-            "hint": self.hint,
-        }
-
-
-@dataclass
-class _Suppression:
-    """One ``# simlint: allow[IDs] reason`` comment."""
-
-    line: int
-    rule_ids: FrozenSet[str]
-    reason: str
-    used: bool = False
-
-
-def _collect_suppressions(source: str) -> List[_Suppression]:
-    suppressions: List[_Suppression] = []
-    reader = io.StringIO(source).readline
-    try:
-        tokens = list(tokenize.generate_tokens(reader))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return suppressions
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        match = _SUPPRESSION_RE.search(token.string)
-        if match is None:
-            continue
-        ids = frozenset(
-            part.strip() for part in match.group(1).split(",")
-            if part.strip())
-        suppressions.append(_Suppression(
-            line=token.start[0], rule_ids=ids,
-            reason=match.group(2).strip()))
-    return suppressions
-
-
-def _call_name(func: ast.expr) -> Optional[str]:
-    """The trailing identifier of a call target (``a.b.c`` -> ``c``)."""
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return None
-
-
-def _name_unit(name: Optional[str]) -> Optional[str]:
-    if not name:
-        return None
-    for suffix, unit in _UNIT_SUFFIXES:
-        if name.endswith(suffix) and len(name) > len(suffix):
-            return unit
-    return None
-
 
 def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
     if annotation is None:
@@ -221,7 +153,7 @@ def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
 
 
 class _ModuleChecker(ast.NodeVisitor):
-    """One-pass checker for all D/U/H rules over a single module."""
+    """The single-module pass: local D1xx/U2xx/H3xx rules."""
 
     def __init__(self, path: str, tree: ast.Module) -> None:
         self.path = path
@@ -684,49 +616,127 @@ class _ModuleChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _apply_suppressions(findings: List[Finding],
-                        suppressions: List[_Suppression],
-                        path: str,
-                        check_suppressions: bool) -> List[Finding]:
-    by_line: Dict[int, List[_Suppression]] = {}
-    for suppression in suppressions:
-        by_line.setdefault(suppression.line, []).append(suppression)
-    kept: List[Finding] = []
-    for finding in findings:
-        last = finding.end_line or finding.line
-        suppressed = False
-        for line in range(finding.line, last + 1):
-            for suppression in by_line.get(line, ()):
-                if finding.rule_id in suppression.rule_ids:
-                    suppression.used = True
-                    suppressed = True
-        if not suppressed:
-            kept.append(finding)
-    if check_suppressions:
-        for suppression in suppressions:
-            if not suppression.reason:
-                kept.append(Finding(
-                    path=path, line=suppression.line, col=1,
-                    rule_id="S901",
-                    message="suppression without a reason: "
-                            "'# simlint: allow[ID] <reason>'"))
-            if not suppression.used:
-                ids = ",".join(sorted(suppression.rule_ids))
-                kept.append(Finding(
-                    path=path, line=suppression.line, col=1,
-                    rule_id="S902",
-                    message=f"allow[{ids}] matches no finding on "
-                            f"this statement"))
-    return kept
+# ----------------------------------------------------------------------
+# the driver
+
+
+@dataclass
+class LintRun:
+    """The result of one analyzer run.
+
+    ``findings`` is the merged, suppression-filtered, sorted stream
+    from every pass; ``sources`` maps each linted path to its text so
+    the baseline/SARIF layer can fingerprint findings without
+    re-reading files (and so the fingerprints are computed from
+    exactly the bytes that were analyzed).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    sources: Dict[str, str] = field(default_factory=dict)
+
+
+def _sort_key(finding: Finding) -> Tuple[int, int, str]:
+    return (finding.line, finding.col, finding.rule_id)
+
+
+def _module_name(path: str) -> str:
+    """Module name for the call graph; filesystem-free for <string>."""
+    if path == "<string>":
+        return "_module"
+    return module_name_for(Path(path))
+
+
+def run_lint(paths: Sequence[Union[str, Path]],
+             select: Optional[Set[str]] = None) -> LintRun:
+    """Run every pass over the Python files under ``paths``.
+
+    The full pipeline, in order:
+
+    1. Parse all files (syntax errors become E901 and exclude the
+       file from later passes).
+    2. Collect function signatures project-wide so the U4xx pass can
+       check call sites across module boundaries.
+    3. Per file: module checker (D1xx/U2xx/H3xx) + unit pass (U4xx),
+       then apply ``allow[...]`` suppressions.
+    4. Taint pass (D2xx) over the whole call graph, seeded by the
+       *surviving* D1xx findings; suppressions applied again so an
+       allow at either end of a chain silences it.
+    5. S9xx suppression audit per file (skipped when ``select``
+       restricts rules, so a filtered run never flags allow-comments
+       for deselected rules as stale).
+    6. Stable sort: files in traversal order, findings by
+       (line, col, rule).
+    """
+    run = LintRun()
+    parsed: List[Tuple[str, Optional[ast.Module],
+                       Optional[Finding]]] = []
+    for file_path in iter_python_files(paths):
+        path = str(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        run.sources[path] = source
+        try:
+            tree = ast.parse(source, filename=path)
+            parsed.append((path, tree, None))
+        except SyntaxError as exc:
+            parsed.append((path, None, Finding(
+                path=path, line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1, rule_id="E901",
+                message=f"syntax error: {exc.msg}")))
+
+    modules = {path: _module_name(path)
+               for path, tree, _ in parsed if tree is not None}
+    signatures = merge_signature_indexes([
+        collect_signatures(tree, modules[path])
+        for path, tree, _ in parsed if tree is not None])
+
+    per_file: Dict[str, List[Finding]] = {}
+    suppressions: Dict[str, List[Suppression]] = {}
+    taint_modules = []
+    seeds: Dict[str, List[Finding]] = {}
+    for path, tree, error in parsed:
+        if tree is None:
+            per_file[path] = [error] if error is not None else []
+            continue
+        checker = _ModuleChecker(path, tree)
+        checker.visit(tree)
+        local = checker.findings + \
+            UnitPass(path, tree, modules[path], signatures).run()
+        supps = collect_suppressions(run.sources[path])
+        suppressions[path] = supps
+        kept = apply_suppressions(local, supps)
+        per_file[path] = kept
+        seeds[path] = kept
+        taint_modules.append(extract_module(path, tree, modules[path]))
+
+    taint_by_path: Dict[str, List[Finding]] = {}
+    for finding in run_taint(taint_modules, seeds):
+        taint_by_path.setdefault(finding.path, []).append(finding)
+    for path, findings in taint_by_path.items():
+        per_file.setdefault(path, []).extend(
+            apply_suppressions(findings, suppressions.get(path, [])))
+
+    for path, tree, _ in parsed:
+        findings = per_file.get(path, [])
+        if select is not None:
+            findings = [f for f in findings
+                        if f.rule_id in select or f.rule_id == "E901"]
+        elif tree is not None:
+            findings = findings + audit(suppressions[path], path)
+        findings.sort(key=_sort_key)
+        run.findings.extend(findings)
+    return run
 
 
 def lint_source(source: str, path: str = "<string>",
                 select: Optional[Set[str]] = None) -> List[Finding]:
     """Analyze one module's source text and return its findings.
 
-    ``select`` restricts output to the given rule IDs; suppression
-    hygiene (S9xx) is only checked on unrestricted runs, so a filtered
-    run never reports allow-comments for deselected rules as stale.
+    The single-module entry point: all per-file passes run, and the
+    taint pass runs over the one-module call graph (so intra-module
+    source→sink chains are still reported).  ``select`` restricts
+    output to the given rule IDs; suppression hygiene (S9xx) is only
+    checked on unrestricted runs, so a filtered run never reports
+    allow-comments for deselected rules as stale.
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -734,16 +744,23 @@ def lint_source(source: str, path: str = "<string>",
         return [Finding(path=path, line=exc.lineno or 1,
                         col=(exc.offset or 0) + 1, rule_id="E901",
                         message=f"syntax error: {exc.msg}")]
+    module = _module_name(path)
     checker = _ModuleChecker(path, tree)
     checker.visit(tree)
-    findings = checker.findings
+    local = checker.findings + \
+        UnitPass(path, tree, module,
+                 collect_signatures(tree, module)).run()
+    supps = collect_suppressions(source)
+    kept = apply_suppressions(local, supps)
+    taint = run_taint([extract_module(path, tree, module)],
+                      {path: kept})
+    kept = kept + apply_suppressions(taint, supps)
     if select is not None:
-        findings = [f for f in findings if f.rule_id in select]
-    findings = _apply_suppressions(
-        findings, _collect_suppressions(source), path,
-        check_suppressions=select is None)
-    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
-    return findings
+        kept = [f for f in kept if f.rule_id in select]
+    else:
+        kept = kept + audit(supps, path)
+    kept.sort(key=_sort_key)
+    return kept
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
@@ -763,9 +780,4 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
 def lint_paths(paths: Sequence[Union[str, Path]],
                select: Optional[Set[str]] = None) -> List[Finding]:
     """Lint every Python file under ``paths``; findings sorted by file."""
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(file_path),
-                                    select=select))
-    return findings
+    return run_lint(paths, select=select).findings

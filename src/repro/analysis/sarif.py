@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 export for simlint findings.
+
+One run, one tool component, one result per finding.  The export is
+deliberately minimal-but-conformant: rule metadata comes straight from
+the catalog (:mod:`repro.analysis.rules`), locations are 1-based
+region anchors, taint chains surface as ``relatedLocations``, and the
+baseline fingerprint is exported under ``partialFingerprints`` with
+the same key the baseline file uses, so code-scanning UIs and
+``.simlint-baseline.json`` agree on finding identity.
+
+Determinism is part of the contract here exactly as it is for the
+simulator: rules are sorted by ID, results keep analyzer order (which
+is itself path/line-sorted by the driver), and serialization uses a
+fixed key order with a trailing newline — the same findings always
+produce byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .baseline import FINGERPRINT_KEY, normalize_path
+from .findings import Finding
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Rule series -> SARIF level.  Determinism and unit hazards break the
+#: replay contract outright; hygiene and suppression findings warn.
+_SERIES_LEVELS = {"D": "error", "U": "error", "H": "warning",
+                  "S": "warning", "E": "error"}
+
+
+def _location(path: str, line: int, col: int = 1,
+              message: Optional[str] = None) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": normalize_path(path),
+                "uriBaseId": "SRCROOT",
+            },
+            "region": {"startLine": line, "startColumn": col},
+        },
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "help": {"text": rule.hint},
+        "defaultConfiguration": {
+            "level": _SERIES_LEVELS.get(rule.series, "warning"),
+        },
+    }
+
+
+def render_sarif(
+        fingerprinted: Sequence[Tuple[Finding, Optional[str]]],
+) -> str:
+    """Serialize findings (with optional fingerprints) as SARIF 2.1.0.
+
+    The rules table lists only rules that actually fired — SARIF
+    consumers treat it as the run's vocabulary, and keeping it minimal
+    makes the output stable under catalog growth.
+    """
+    fired = sorted({finding.rule_id for finding, _ in fingerprinted})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    results: List[Dict[str, Any]] = []
+    for finding, fingerprint in fingerprinted:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _SERIES_LEVELS.get(finding.rule_id[0], "warning"),
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line,
+                                    finding.col)],
+        }
+        if finding.related:
+            result["relatedLocations"] = [
+                _location(rel_path, rel_line, 1, note)
+                for rel_path, rel_line, note in finding.related]
+        if fingerprint is not None:
+            result["partialFingerprints"] = {
+                FINGERPRINT_KEY: fingerprint}
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://example.invalid/simlint"),
+                        "rules": [_rule_descriptor(rule_id)
+                                  for rule_id in fired],
+                    },
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            },
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

@@ -34,6 +34,7 @@ from .params import CebinaeParams
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..netsim.queues import QueueDisc
     from ..netsim.topology import PortSpec, QueueFactory
+    from .units import Ratio, TimeNs
 
 
 @dataclass
@@ -73,10 +74,10 @@ class AdaptiveTauController:
         self.sim.schedule(interval, self._supervise)
 
     @property
-    def tau(self) -> float:
+    def tau(self) -> Ratio:
         return self.agent.params.tau
 
-    def _set_tau(self, new_tau: float, reason: str) -> None:
+    def _set_tau(self, new_tau: Ratio, reason: str) -> None:
         config = self.config
         new_tau = min(max(new_tau, config.min_tau), config.max_tau)
         if abs(new_tau - self.tau) < 1e-9:

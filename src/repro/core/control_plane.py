@@ -32,14 +32,15 @@ from .queue_disc import CebinaeQueueDisc
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..faults.schedule import ControlPlaneFaults
     from ..netsim.topology import QueueFactory
+    from .units import Ratio, TimeNs
 
 
 @dataclass
 class ControlPlaneSample:
     """One recomputation's observations (Figure 1's background shading)."""
 
-    time_ns: int
-    utilization: float
+    time_ns: TimeNs
+    utilization: Ratio
     saturated: bool
     top_flows: Set[FlowId] = field(default_factory=set)
     top_rate_bytes_per_sec: float = 0.0
@@ -131,7 +132,7 @@ class CebinaeControlPlane:
         self.sim.schedule(deadline, self._apply_config, retired)
         self.sim.schedule(self.params.dt_ns, self._on_rotate)
 
-    def _miss_deadline(self, retired_queue: int, deadline_ns: int,
+    def _miss_deadline(self, retired_queue: int, deadline_ns: TimeNs,
                        dropped: bool, extra_ns: int) -> None:
         """This round's reconfiguration will not arrive by ``t0 + vdT + L``.
 
@@ -254,7 +255,7 @@ class CebinaeControlPlane:
         self._pending_saturated = True
         self._record(utilization, True, top, top_rate, bottom_rate)
 
-    def _configure_unsaturated(self, utilization: float) -> None:
+    def _configure_unsaturated(self, utilization: Ratio) -> None:
         """Release all limits so any flow may claim the headroom."""
         self._pending_top_rate = self.capacity_bytes_per_sec
         self._pending_bottom_rate = self.capacity_bytes_per_sec
@@ -264,7 +265,7 @@ class CebinaeControlPlane:
                      self.capacity_bytes_per_sec,
                      self.capacity_bytes_per_sec)
 
-    def _record(self, utilization: float, saturated: bool,
+    def _record(self, utilization: Ratio, saturated: bool,
                 top: Set[FlowId], top_rate: float,
                 bottom_rate: float) -> None:
         if self.history is None:

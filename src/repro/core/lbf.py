@@ -28,10 +28,13 @@ this behaviour and experiments show TCP's backoff makes it benign.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from ..netsim.engine import SECOND
 from .params import CebinaeParams
+
+if TYPE_CHECKING:
+    from .units import BitsPerSec, Bytes, TimeNs
 
 
 class FlowGroup(enum.Enum):
@@ -52,7 +55,8 @@ class LbfDecision(enum.Enum):
 class LeakyBucketFilter:
     """The per-port LBF state machine."""
 
-    def __init__(self, params: CebinaeParams, capacity_bps: float) -> None:
+    def __init__(self, params: CebinaeParams,
+                 capacity_bps: BitsPerSec) -> None:
         self.params = params
         self.capacity_bytes_per_sec = capacity_bps / 8.0
         # Derived constants, hoisted off the per-packet admit path.
@@ -85,7 +89,7 @@ class LeakyBucketFilter:
         self.rotations = 0
 
     # -- helpers -----------------------------------------------------------
-    def _advance_virtual_round(self, now_ns: int) -> None:
+    def _advance_virtual_round(self, now_ns: TimeNs) -> None:
         vdt = self._vdt_ns
         if now_ns >= self.round_time_ns + vdt:
             self.round_time_ns = now_ns - (now_ns % vdt)
@@ -115,8 +119,8 @@ class LeakyBucketFilter:
         raise ValueError("dropped packets have no queue")
 
     # -- data plane operations ------------------------------------------------
-    def admit(self, group: FlowGroup, size_bytes: int,
-              now_ns: int) -> LbfDecision:
+    def admit(self, group: FlowGroup, size_bytes: Bytes,
+              now_ns: TimeNs) -> LbfDecision:
         """Figure 5 lines 13-33 for a saturated port."""
         self._advance_virtual_round(now_ns)
         rate_head = self.rates[self.headq][group]
@@ -133,7 +137,8 @@ class LeakyBucketFilter:
             return LbfDecision.TAIL
         return LbfDecision.DROP
 
-    def admit_aggregate(self, size_bytes: int, now_ns: int) -> LbfDecision:
+    def admit_aggregate(self, size_bytes: Bytes,
+                        now_ns: TimeNs) -> LbfDecision:
         """The unsaturated-phase filter over all traffic at capacity."""
         self._advance_virtual_round(now_ns)
         capacity = self.capacity_bytes_per_sec
@@ -148,11 +153,11 @@ class LeakyBucketFilter:
             return LbfDecision.TAIL
         return LbfDecision.DROP
 
-    def track_total(self, size_bytes: int) -> None:
+    def track_total(self, size_bytes: Bytes) -> None:
         """Track the aggregate counter while the per-group filter runs."""
         self.total_bytes += size_bytes
 
-    def rotate(self, now_ns: int) -> int:
+    def rotate(self, now_ns: TimeNs) -> int:
         """Figure 5 lines 8-12.  Returns the queue index just retired.
 
         The retired queue (the old ``headq``) is guaranteed drained by

@@ -32,8 +32,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..netsim.engine import MICROSECOND, MILLISECOND, SECOND
+
+if TYPE_CHECKING:
+    from .units import BitsPerSec, Bytes, Ratio, TimeNs
 
 
 @dataclass(frozen=True)
@@ -45,12 +49,12 @@ class CebinaeParams:
     characteristics with :meth:`for_link`.
     """
 
-    delta_port: float = 0.01
-    delta_flow: float = 0.01
-    tau: float = 0.01
-    dt_ns: int = 50 * MILLISECOND
-    vdt_ns: int = 100 * MICROSECOND
-    l_ns: int = 100 * MICROSECOND
+    delta_port: Ratio = 0.01
+    delta_flow: Ratio = 0.01
+    tau: Ratio = 0.01
+    dt_ns: TimeNs = 50 * MILLISECOND
+    vdt_ns: TimeNs = 100 * MICROSECOND
+    l_ns: TimeNs = 100 * MICROSECOND
     recompute_rounds: int = 1          # P.
     ecn_marking: bool = True
     cache_stages: int = 2
@@ -63,7 +67,7 @@ class CebinaeParams:
     #: simulations that implicit floor disappears and a starved flow can
     #: enter an RTO death spiral.  0.0 disables the floor (the paper's
     #: literal algorithm).
-    min_bottom_rate_fraction: float = 0.0
+    min_bottom_rate_fraction: Ratio = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delta_port <= 1.0:
@@ -85,12 +89,12 @@ class CebinaeParams:
                 "min_bottom_rate_fraction must be in [0, 1)")
 
     @property
-    def recompute_interval_ns(self) -> int:
+    def recompute_interval_ns(self) -> TimeNs:
         """``P · dT``: the measurement window for saturation and rates."""
         return self.recompute_rounds * self.dt_ns
 
     @property
-    def control_deadline_ns(self) -> int:
+    def control_deadline_ns(self) -> TimeNs:
         """``vdT + L``: the reconfiguration deadline, relative to ``t0``.
 
         A round whose reconfiguration is not applied by
@@ -102,13 +106,14 @@ class CebinaeParams:
         """
         return self.vdt_ns + self.l_ns
 
-    def min_dt_ns(self, rate_bps: float, buffer_bytes: int) -> int:
+    def min_dt_ns(self, rate_bps: BitsPerSec,
+              buffer_bytes: Bytes) -> TimeNs:
         """Equation (2) lower bound on dT for a given port."""
         drain_ns = int(math.ceil(buffer_bytes * 8 * SECOND / rate_bps))
         return drain_ns + self.vdt_ns + self.l_ns
 
-    def validate_for_link(self, rate_bps: float,
-                          buffer_bytes: int) -> None:
+    def validate_for_link(self, rate_bps: BitsPerSec,
+                          buffer_bytes: Bytes) -> None:
         """Raise if Equation (2) is violated for this port."""
         minimum = self.min_dt_ns(rate_bps, buffer_bytes)
         if self.dt_ns < minimum:
@@ -118,8 +123,8 @@ class CebinaeParams:
                 f"{buffer_bytes} B of buffer")
 
     @classmethod
-    def for_link(cls, rate_bps: float, buffer_bytes: int,
-                 max_rtt_ns: int = 100 * MILLISECOND,
+    def for_link(cls, rate_bps: BitsPerSec, buffer_bytes: Bytes,
+                 max_rtt_ns: TimeNs = 100 * MILLISECOND,
                  **overrides) -> "CebinaeParams":
         """Derive dT/vdT/L/P from link characteristics (section 4.4).
 

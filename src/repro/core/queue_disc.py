@@ -20,7 +20,7 @@ The control plane half lives in
 from __future__ import annotations
 
 import collections
-from typing import Deque, List, Optional, Set, Union
+from typing import TYPE_CHECKING, Deque, List, Optional, Set, Union
 
 from ..heavyhitter.hashpipe import CebinaeFlowCache, ExactFlowCache
 from ..netsim.engine import Simulator
@@ -31,12 +31,15 @@ from ..obs.events import CacheUpdate, LbfDecisionEvent, LbfRotation
 from .lbf import FlowGroup, LbfDecision, LeakyBucketFilter
 from .params import CebinaeParams
 
+if TYPE_CHECKING:
+    from .units import BitsPerSec, Bytes, Ratio
+
 
 class CebinaeQueueDisc(QueueDisc):
     """Two priority queues plus LBF admission and egress accounting."""
 
     def __init__(self, sim: Simulator, params: CebinaeParams,
-                 rate_bps: float, buffer_bytes: int,
+                 rate_bps: BitsPerSec, buffer_bytes: Bytes,
                  name: str = "cebinae") -> None:
         super().__init__()
         params.validate_for_link(rate_bps, buffer_bytes)
@@ -220,8 +223,9 @@ class CebinaeQueueDisc(QueueDisc):
     def set_membership(self, top_flows: Set[FlowId]) -> None:
         self.top_flows = set(top_flows)
 
-    def set_saturated(self, saturated: bool, top_share: float = 0.5,
-                      bottom_share: float = 0.5) -> None:
+    def set_saturated(self, saturated: bool,
+                      top_share: Ratio = 0.5,
+                      bottom_share: Ratio = 0.5) -> None:
         """Phase change, applied atomically by the control plane.
 
         On unsaturated→saturated, the group counters are bootstrapped
@@ -238,5 +242,5 @@ class CebinaeQueueDisc(QueueDisc):
         return len(self._queues[0]) + len(self._queues[1])
 
     @property
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
         return self._queue_bytes[0] + self._queue_bytes[1]

@@ -21,22 +21,25 @@ packet-level simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 from .metrics import jain_fairness_index
+
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, Ratio
 
 
 @dataclass
 class ConvergenceTrace:
     """The modelled evolution of per-flow rates."""
 
-    rates_per_step: List[List[float]]
+    rates_per_step: List[List[BitsPerSec]]
 
     @property
     def steps(self) -> int:
         return len(self.rates_per_step) - 1
 
-    def jfi_series(self) -> List[float]:
+    def jfi_series(self) -> List[Ratio]:
         return [jain_fairness_index(rates)
                 for rates in self.rates_per_step]
 
@@ -109,7 +112,7 @@ def taxation_trajectory(initial_rates: Sequence[float],
 
 
 def geometric_convergence_steps(excess_ratio: float,
-                                tau: float) -> float:
+                                tau: Ratio) -> float:
     """The paper's closed form: windows to shrink by ``excess``×."""
     import math
     if excess_ratio <= 1.0:

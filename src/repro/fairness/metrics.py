@@ -12,10 +12,14 @@ Two flavours of Jain's Fairness Index appear in the paper:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence
+from typing import (TYPE_CHECKING, Dict, Hashable, Iterable,
+                    List, Sequence)
+
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, Ratio
 
 
-def jain_fairness_index(rates: Sequence[float]) -> float:
+def jain_fairness_index(rates: Sequence[BitsPerSec]) -> Ratio:
     """Jain's index: ``(Σx)² / (n·Σx²)``; 1/n (worst) to 1 (equal)."""
     values = [max(float(rate), 0.0) for rate in rates]
     if not values:
@@ -67,6 +71,6 @@ def jfi_time_series(per_flow_series: Dict[Hashable, Sequence[float]],
     return result
 
 
-def average_bps(values: Iterable[float]) -> float:
+def average_bps(values: Iterable[BitsPerSec]) -> BitsPerSec:
     values = list(values)
     return sum(values) / len(values) if values else 0.0

@@ -17,8 +17,12 @@ regardless of Python's string-hash randomisation.
 from __future__ import annotations
 
 import zlib
-from typing import (Callable, Dict, Generic, Hashable, List, Optional,
+from typing import (TYPE_CHECKING, Callable, Dict, Generic,
+                    Hashable, List, Optional,
                     Set, Tuple, TypeVar)
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes, Ratio
 
 #: The flow-key type a cache is instantiated over (FlowId in the
 #: simulator; tests use ints and strings).
@@ -165,8 +169,8 @@ class ExactFlowCache(Generic[K]):
         return len(self._counts)
 
 
-def select_bottlenecked(flow_bytes: Dict[K, int],
-                        delta_flow: float) -> Tuple[Set[K], int]:
+def select_bottlenecked(flow_bytes: Dict[K, Bytes],
+                        delta_flow: Ratio) -> Tuple[Set[K], Bytes]:
     """The paper's ⊤ selection rule (Figure 4, lines 17-25).
 
     Returns the set of flows whose byte count is within ``delta_flow``

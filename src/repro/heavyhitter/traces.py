@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, Bytes, Seconds, TimeNs
 
 #: Paper setting: a 10 Gbps backbone link.
 BACKBONE_RATE_BPS = 10e9
@@ -48,11 +51,11 @@ class SyntheticTrace:
         seed: RNG seed (every trace is deterministic given its seed).
     """
 
-    def __init__(self, duration_s: float = 1.0,
+    def __init__(self, duration_s: Seconds = 1.0,
                  flows_per_minute: int = DEFAULT_FLOWS_PER_MINUTE,
                  zipf_alpha: float = 1.1,
-                 link_rate_bps: float = BACKBONE_RATE_BPS,
-                 mean_packet_bytes: int = 700,
+                 link_rate_bps: BitsPerSec = BACKBONE_RATE_BPS,
+                 mean_packet_bytes: Bytes = 700,
                  seed: int = 1) -> None:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -115,8 +118,8 @@ class SyntheticTrace:
             if nxt < horizon_ns:
                 heapq.heappush(heap, (nxt, flow))
 
-    def true_bytes_by_interval(self, interval_ns: int
-                               ) -> List[Dict[int, int]]:
+    def true_bytes_by_interval(self, interval_ns: TimeNs
+                               ) -> List[Dict[int, Bytes]]:
         """Ground-truth per-flow byte counts for each round interval."""
         buckets: List[Dict[int, int]] = []
         for packet in self.packets():

@@ -19,21 +19,24 @@ eventual rather than per-packet).
 from __future__ import annotations
 
 import collections
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from ..heavyhitter.sketch import CountMinSketch
 from .packet import Packet
 from .queues import QueueDisc
 from .topology import PortSpec, QueueFactory
 
+if TYPE_CHECKING:
+    from ..core.units import Bytes
+
 
 class AfqQueue(QueueDisc):
     """Calendar-queue approximate fair queuing."""
 
     def __init__(self, num_queues: int = 32,
-                 bytes_per_round: int = 2 * 1514,
+                 bytes_per_round: Bytes = 2 * 1514,
                  sketch_rows: int = 2, sketch_columns: int = 2048,
-                 limit_bytes: Optional[int] = None,
+                 limit_bytes: Optional[Bytes] = None,
                  seed: int = 1) -> None:
         super().__init__()
         if num_queues < 2:
@@ -104,11 +107,12 @@ class AfqQueue(QueueDisc):
         return self._packets
 
     @property
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
         return self._bytes
 
 
-def afq_factory(num_queues: int = 32, bytes_per_round: int = 2 * 1514,
+def afq_factory(num_queues: int = 32,
+                bytes_per_round: Bytes = 2 * 1514,
                 limit_bytes: Optional[int] = None,
                 sketch_columns: int = 2048) -> "QueueFactory":
     """Queue factory installing AFQ on a port."""

@@ -42,13 +42,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
-from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
-                    Type, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
+                    Optional, Tuple, Type, Union)
 
 from ..analysis import invariants
 from ..analysis.invariants import require_int_ns
 from ..obs import metrics as obs_metrics
 from . import profiling
+
+if TYPE_CHECKING:
+    from ..core.units import Seconds, TimeNs
 
 #: One nanosecond, the base time unit of the engine.
 NANOSECOND = 1
@@ -60,12 +63,12 @@ MILLISECOND = 1_000_000
 SECOND = 1_000_000_000
 
 
-def seconds(value: float) -> int:
+def seconds(value: Seconds) -> TimeNs:
     """Convert a duration in (possibly fractional) seconds to nanoseconds."""
     return int(round(value * SECOND))
 
 
-def to_seconds(value_ns: int) -> float:
+def to_seconds(value_ns: TimeNs) -> Seconds:
     """Convert a duration in nanoseconds to float seconds."""
     return value_ns / SECOND
 
@@ -84,7 +87,7 @@ class Event:
 
     __slots__ = ("time_ns", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time_ns: int, seq: int,
+    def __init__(self, time_ns: TimeNs, seq: int,
                  callback: Callable[..., None],
                  args: Tuple[Any, ...]) -> None:
         self.time_ns = time_ns
@@ -308,12 +311,12 @@ class Simulator:
         self._processed = 0
 
     @property
-    def now_ns(self) -> int:
+    def now_ns(self) -> TimeNs:
         """The current simulation time in nanoseconds."""
         return self._now_ns
 
     @property
-    def now_seconds(self) -> float:
+    def now_seconds(self) -> Seconds:
         """The current simulation time in float seconds (for reporting)."""
         return self._now_ns / SECOND
 
@@ -327,7 +330,7 @@ class Simulator:
         """The active scheduler backend."""
         return self._scheduler
 
-    def schedule(self, delay_ns: int, callback: Callable[..., None],
+    def schedule(self, delay_ns: TimeNs, callback: Callable[..., None],
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
         if invariants.DEBUG:
@@ -340,7 +343,7 @@ class Simulator:
         self._scheduler.push((time_ns, seq, event))
         return event
 
-    def schedule_at(self, time_ns: int, callback: Callable[..., None],
+    def schedule_at(self, time_ns: TimeNs, callback: Callable[..., None],
                     *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
         if invariants.DEBUG:
@@ -353,7 +356,7 @@ class Simulator:
         self._scheduler.push((time_ns, seq, event))
         return event
 
-    def peek_time_ns(self) -> Optional[int]:
+    def peek_time_ns(self) -> Optional[TimeNs]:
         """The time of the next pending event, or None if none remain."""
         scheduler = self._scheduler
         while True:
@@ -380,7 +383,7 @@ class Simulator:
             event.callback(*event.args)
             return True
 
-    def run(self, until_ns: Optional[int] = None,
+    def run(self, until_ns: Optional[TimeNs] = None,
             max_events: Optional[int] = None,
             watchdog: Optional[Callable[[], None]] = None,
             watchdog_interval: int = 8192) -> None:

@@ -14,12 +14,15 @@ from __future__ import annotations
 import collections
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from .engine import MILLISECOND, Simulator
 from .packet import FlowId, Packet
 from .queues import QueueDisc
 from .topology import PortSpec, QueueFactory
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes, TimeNs
 
 #: CoDel acceptable standing-queue delay (RFC 8289 default).
 CODEL_TARGET_NS = 5 * MILLISECOND
@@ -27,7 +30,8 @@ CODEL_TARGET_NS = 5 * MILLISECOND
 CODEL_INTERVAL_NS = 100 * MILLISECOND
 
 
-def control_law(time_ns: int, interval_ns: int, count: int) -> int:
+def control_law(time_ns: TimeNs, interval_ns: TimeNs,
+                count: int) -> TimeNs:
     """The CoDel drop-scheduling control law: interval / sqrt(count)."""
     return time_ns + int(interval_ns / math.sqrt(count))
 
@@ -36,16 +40,16 @@ def control_law(time_ns: int, interval_ns: int, count: int) -> int:
 class CoDelState:
     """Per-queue CoDel state machine (RFC 8289 section 5)."""
 
-    target_ns: int = CODEL_TARGET_NS
-    interval_ns: int = CODEL_INTERVAL_NS
-    first_above_time_ns: int = 0
-    drop_next_ns: int = 0
+    target_ns: TimeNs = CODEL_TARGET_NS
+    interval_ns: TimeNs = CODEL_INTERVAL_NS
+    first_above_time_ns: TimeNs = 0
+    drop_next_ns: TimeNs = 0
     count: int = 0
     lastcount: int = 0
     dropping: bool = False
 
-    def sojourn_ok(self, sojourn_ns: int, now_ns: int,
-                   backlog_bytes: int) -> bool:
+    def sojourn_ok(self, sojourn_ns: TimeNs, now_ns: TimeNs,
+                   backlog_bytes: Bytes) -> bool:
         """Update first_above_time; True if the packet should NOT drop."""
         if sojourn_ns < self.target_ns or backlog_bytes <= 1514:
             self.first_above_time_ns = 0
@@ -63,8 +67,8 @@ class _FlowQueue:
     __slots__ = ("packets", "bytes", "deficit", "codel", "active",
                  "is_new")
 
-    def __init__(self, quantum: int, target_ns: int,
-                 interval_ns: int) -> None:
+    def __init__(self, quantum: Bytes, target_ns: TimeNs,
+                 interval_ns: TimeNs) -> None:
         self.packets: Deque[Packet] = collections.deque()
         # Maintained incrementally: summing per-packet sizes on demand
         # made the overlimit fattest-queue search O(packets) per drop.
@@ -82,9 +86,9 @@ class _FlowQueue:
 class FqCoDelQueue(QueueDisc):
     """RFC 8290 FQ-CoDel over exact per-flow queues."""
 
-    def __init__(self, sim: Simulator, quantum_bytes: int = 1514,
-                 target_ns: int = CODEL_TARGET_NS,
-                 interval_ns: int = CODEL_INTERVAL_NS,
+    def __init__(self, sim: Simulator, quantum_bytes: Bytes = 1514,
+                 target_ns: TimeNs = CODEL_TARGET_NS,
+                 interval_ns: TimeNs = CODEL_INTERVAL_NS,
                  limit_packets: int = 10240,
                  num_queues: Optional[int] = None) -> None:
         super().__init__()

@@ -20,6 +20,7 @@ from .packet import Packet
 from .queues import QueueDisc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.units import BitsPerSec, Bytes, TimeNs
     from ..faults.schedule import LinkFaultState
     from .node import Node
 
@@ -28,7 +29,8 @@ class Link:
     """A unidirectional link from ``src`` to ``dst``."""
 
     def __init__(self, sim: Simulator, src: "Node", dst: "Node",
-                 rate_bps: float, delay_ns: int, queue: QueueDisc,
+                 rate_bps: BitsPerSec, delay_ns: TimeNs,
+                 queue: QueueDisc,
                  name: str = "") -> None:
         if delay_ns < 0:
             raise ValueError("propagation delay cannot be negative")
@@ -82,12 +84,12 @@ class Link:
         queue.set_waker(self._on_queue_ready)
 
     @property
-    def rate_bps(self) -> float:
+    def rate_bps(self) -> BitsPerSec:
         """Link rate in bits per second."""
         return self._rate_bps
 
     @rate_bps.setter
-    def rate_bps(self, rate_bps: float) -> None:
+    def rate_bps(self, rate_bps: BitsPerSec) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         self._rate_bps = float(rate_bps)
@@ -99,7 +101,7 @@ class Link:
         """Link capacity in bytes per second."""
         return self.rate_bps / 8.0
 
-    def serialization_delay_ns(self, size_bytes: int) -> int:
+    def serialization_delay_ns(self, size_bytes: Bytes) -> TimeNs:
         """Time to clock ``size_bytes`` onto the wire."""
         cached = self._ser_delay_cache.get(size_bytes)
         if cached is None:

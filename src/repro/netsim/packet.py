@@ -12,7 +12,11 @@ from __future__ import annotations
 import enum
 import zlib
 from dataclasses import InitVar, dataclass, field
-from typing import Any, Dict, Mapping, NamedTuple, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, Mapping, NamedTuple,
+                    Optional, Tuple)
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes
 
 #: Standard Ethernet MTU used throughout the reproduction.
 MTU_BYTES = 1500
@@ -101,10 +105,10 @@ class Packet:
     """
 
     flow: FlowId
-    size_bytes: int
+    size_bytes: Bytes
     ptype: PacketType = PacketType.DATA
     seq: int = 0
-    payload_bytes: int = 0
+    payload_bytes: Bytes = 0
     ack: int = 0
     sack: Tuple[Tuple[int, int], ...] = ()
     ecn: EcnCodepoint = EcnCodepoint.NOT_ECT

@@ -13,11 +13,14 @@ of Table 2), with the buffer configured in MTUs exactly as the paper's
 from __future__ import annotations
 
 import collections
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from ..obs import bus as obs_bus
 from ..obs.events import QueueDrop
 from .packet import MTU_BYTES, Packet
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes
 
 
 def _no_clock() -> int:
@@ -76,7 +79,7 @@ class QueueDisc:
         raise NotImplementedError
 
     @property
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
         raise NotImplementedError
 
     def record_drop(self, packet: Packet, reason: str = "tail") -> None:
@@ -144,5 +147,5 @@ class DropTailQueue(QueueDisc):
         return len(self._queue)
 
     @property
-    def byte_length(self) -> int:
+    def byte_length(self) -> Bytes:
         return self._bytes

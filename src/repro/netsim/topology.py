@@ -14,7 +14,8 @@ bottleneck ports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
 import networkx as nx
 
@@ -23,14 +24,17 @@ from .link import Link
 from .node import Host, Node, Router
 from .queues import DropTailQueue, QueueDisc
 
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, TimeNs
+
 
 @dataclass
 class PortSpec:
     """Everything a queue factory may need to size itself."""
 
     sim: Simulator
-    rate_bps: float
-    delay_ns: int
+    rate_bps: BitsPerSec
+    delay_ns: TimeNs
     name: str
 
 
@@ -77,7 +81,8 @@ class Network:
         self.graph.add_node(router.node_id)
         return router
 
-    def add_link(self, src: Node, dst: Node, rate_bps: float, delay_ns: int,
+    def add_link(self, src: Node, dst: Node, rate_bps: BitsPerSec,
+                 delay_ns: TimeNs,
                  queue_factory: Optional[QueueFactory] = None) -> Link:
         """Add a unidirectional link with its egress queue."""
         factory = queue_factory or DEFAULT_ACCESS_QUEUE
@@ -91,7 +96,8 @@ class Network:
                             capacity_bps=rate_bps)
         return link
 
-    def connect(self, a: Node, b: Node, rate_bps: float, delay_ns: int,
+    def connect(self, a: Node, b: Node, rate_bps: BitsPerSec,
+                delay_ns: TimeNs,
                 queue_ab: Optional[QueueFactory] = None,
                 queue_ba: Optional[QueueFactory] = None
                 ) -> Tuple[Link, Link]:
@@ -142,14 +148,15 @@ class Dumbbell:
         return self.network.sim
 
 
-def host_jitter_ns(bottleneck_rate_bps: float) -> int:
+def host_jitter_ns(bottleneck_rate_bps: BitsPerSec) -> TimeNs:
     """Default send-side jitter: one MTU's service time at the
     bottleneck, the scale needed to break drop-tail phase effects."""
     from .packet import MTU_BYTES
     return int(MTU_BYTES * 8 * 1e9 / bottleneck_rate_bps)
 
 
-def build_dumbbell(rtts_ns: Sequence[int], bottleneck_rate_bps: float,
+def build_dumbbell(rtts_ns: Sequence[TimeNs],
+                   bottleneck_rate_bps: BitsPerSec,
                    bottleneck_queue: QueueFactory,
                    access_rate_factor: float = 10.0,
                    bottleneck_delay_ns: int = MILLISECOND // 2,

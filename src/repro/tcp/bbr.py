@@ -17,9 +17,12 @@ recorded at the round's start.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .cca import AckContext, CongestionControl, WindowedFilter
+
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, Bytes, TimeNs
 
 #: 2/ln(2): fills the pipe in the same number of RTTs as slow start.
 STARTUP_GAIN = 2.885
@@ -48,7 +51,7 @@ class Bbr(CongestionControl):
 
     name = "bbr"
 
-    def __init__(self, mss_bytes: Optional[int] = None) -> None:
+    def __init__(self, mss_bytes: Optional[Bytes] = None) -> None:
         if mss_bytes is None:
             super().__init__()
         else:
@@ -77,12 +80,12 @@ class Bbr(CongestionControl):
 
     # -- derived quantities -------------------------------------------------
     @property
-    def btlbw_bps(self) -> float:
+    def btlbw_bps(self) -> BitsPerSec:
         """Current bottleneck bandwidth estimate (bits/sec)."""
         return self._btlbw.get(0.0)
 
     @property
-    def rtprop_ns(self) -> Optional[int]:
+    def rtprop_ns(self) -> Optional[TimeNs]:
         return self._rtprop_ns
 
     def bdp_bytes(self, gain: float = 1.0) -> float:
@@ -90,7 +93,7 @@ class Bbr(CongestionControl):
             return float("inf")
         return gain * self.btlbw_bps / 8.0 * self._rtprop_ns / 1e9
 
-    def pacing_rate_bps(self) -> Optional[float]:
+    def pacing_rate_bps(self) -> Optional[BitsPerSec]:
         if self.btlbw_bps <= 0:
             return None  # No samples yet: fall back to ACK clocking.
         return self.pacing_gain * self.btlbw_bps
@@ -132,7 +135,7 @@ class Bbr(CongestionControl):
         if self._full_bw_count >= 3:
             self._filled_pipe = True
 
-    def _advance_cycle(self, now_ns: int) -> None:
+    def _advance_cycle(self, now_ns: TimeNs) -> None:
         if self._rtprop_ns is None:
             return
         if now_ns - self._cycle_stamp_ns > self._rtprop_ns:
@@ -141,7 +144,7 @@ class Bbr(CongestionControl):
             self._cycle_stamp_ns = now_ns
             self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
 
-    def _enter_probe_bw(self, now_ns: int) -> None:
+    def _enter_probe_bw(self, now_ns: TimeNs) -> None:
         self.state = BbrState.PROBE_BW
         self.cwnd_gain = 2.0
         self._cycle_index = 2
@@ -201,18 +204,19 @@ class Bbr(CongestionControl):
 
     # BBRv1 deliberately ignores loss signals: window and rate come from
     # the model, not from AIMD reactions.
-    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+    def on_enter_recovery(self, in_flight_bytes: Bytes,
+                          now_ns: TimeNs) -> None:
         pass
 
-    def on_exit_recovery(self, now_ns: int) -> None:
+    def on_exit_recovery(self, now_ns: TimeNs) -> None:
         pass
 
-    def on_retransmit_timeout(self, in_flight_bytes: int,
+    def on_retransmit_timeout(self, in_flight_bytes: Bytes,
                               now_ns: int) -> None:
         # Retain the model; the socket still retransmits.  (Real BBRv1
         # sets cwnd to 1 packet but restores it from the model within a
         # round; we skip the dip.)
         pass
 
-    def on_ecn(self, now_ns: int) -> None:
+    def on_ecn(self, now_ns: TimeNs) -> None:
         pass  # BBRv1 ignores ECN as well.

@@ -15,9 +15,12 @@ optional pacing rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..netsim.packet import MSS_BYTES
+
+if TYPE_CHECKING:
+    from ..core.units import BitsPerSec, Bytes, TimeNs
 
 #: Initial congestion window (RFC 6928): 10 segments.
 INITIAL_CWND_SEGMENTS = 10
@@ -29,13 +32,13 @@ MIN_CWND_SEGMENTS = 2
 class AckContext:
     """Everything a CCA may want to know about one cumulative ACK."""
 
-    acked_bytes: int
+    acked_bytes: Bytes
     ack_seq: int
-    rtt_ns: Optional[int]
-    now_ns: int
-    in_flight_bytes: int
+    rtt_ns: Optional[TimeNs]
+    now_ns: TimeNs
+    in_flight_bytes: Bytes
     snd_nxt: int
-    delivery_rate_bps: Optional[float] = None
+    delivery_rate_bps: Optional[BitsPerSec] = None
     is_app_limited: bool = False
     in_recovery: bool = False
 
@@ -45,7 +48,7 @@ class CongestionControl:
 
     name = "fixed"
 
-    def __init__(self, mss_bytes: int = MSS_BYTES) -> None:
+    def __init__(self, mss_bytes: Bytes = MSS_BYTES) -> None:
         self.mss = mss_bytes
         self.cwnd_bytes: float = INITIAL_CWND_SEGMENTS * mss_bytes
         self.ssthresh_bytes: float = float("inf")
@@ -54,22 +57,23 @@ class CongestionControl:
     def on_ack(self, ctx: AckContext) -> None:
         """A cumulative ACK advanced ``snd_una``."""
 
-    def on_enter_recovery(self, in_flight_bytes: int, now_ns: int) -> None:
+    def on_enter_recovery(self, in_flight_bytes: Bytes,
+                          now_ns: TimeNs) -> None:
         """Triple duplicate ACK: multiplicative decrease goes here."""
 
-    def on_exit_recovery(self, now_ns: int) -> None:
+    def on_exit_recovery(self, now_ns: TimeNs) -> None:
         """Recovery completed; default is to deflate to ssthresh."""
         self.cwnd_bytes = max(self.ssthresh_bytes,
                               MIN_CWND_SEGMENTS * self.mss)
 
-    def on_retransmit_timeout(self, in_flight_bytes: int,
+    def on_retransmit_timeout(self, in_flight_bytes: Bytes,
                               now_ns: int) -> None:
         """RTO fired (RFC 5681 defaults; CCAs may override)."""
         self.ssthresh_bytes = max(in_flight_bytes / 2.0,
                                   MIN_CWND_SEGMENTS * self.mss)
         self.cwnd_bytes = float(self.mss)
 
-    def on_ecn(self, now_ns: int) -> None:
+    def on_ecn(self, now_ns: TimeNs) -> None:
         """ECN-Echo received (at most once per window, socket-enforced).
 
         Default mirrors RFC 3168: treat like a loss-based decrease but
@@ -78,7 +82,7 @@ class CongestionControl:
         self.on_enter_recovery(int(self.cwnd_bytes), now_ns)
         self.on_exit_recovery(now_ns)
 
-    def on_packet_sent(self, size_bytes: int, now_ns: int,
+    def on_packet_sent(self, size_bytes: Bytes, now_ns: TimeNs,
                        in_flight_bytes: int) -> None:
         """A data segment entered the network (used by BBR)."""
 
@@ -87,7 +91,7 @@ class CongestionControl:
     def in_slow_start(self) -> bool:
         return self.cwnd_bytes < self.ssthresh_bytes
 
-    def pacing_rate_bps(self) -> Optional[float]:
+    def pacing_rate_bps(self) -> Optional[BitsPerSec]:
         """Bits/sec pacing rate, or None for pure ACK clocking."""
         return None
 
@@ -102,7 +106,8 @@ class CongestionControl:
                 f" seg, ssthresh={self.ssthresh_bytes / self.mss:.1f} seg)")
 
 
-def slow_start_increase(cca: CongestionControl, acked_bytes: int) -> None:
+def slow_start_increase(cca: CongestionControl,
+                        acked_bytes: Bytes) -> None:
     """Appropriate Byte Counting (RFC 3465, L=1) slow-start growth."""
     cca.cwnd_bytes += min(acked_bytes, cca.mss)
 

@@ -8,12 +8,16 @@ connected sender/receiver pairs on a topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Tuple, Type)
 
 from ..netsim.engine import Simulator
 from ..netsim.node import Host
 from ..netsim.packet import FlowId
 from ..netsim.tracing import FlowMonitor
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes, TimeNs
 from .bbr import Bbr
 from .cca import CongestionControl
 from .cubic import Bic, Cubic
@@ -48,17 +52,17 @@ class TcpFlow:
     sender: TcpSender
     receiver: TcpReceiver
     cca_name: str
-    start_time_ns: int = 0
+    start_time_ns: TimeNs = 0
 
     @property
-    def goodput_bytes(self) -> int:
+    def goodput_bytes(self) -> Bytes:
         return self.receiver.delivered_bytes
 
 
 def connect_flow(sender_host: Host, receiver_host: Host, cca_name: str,
                  monitor: Optional[FlowMonitor] = None,
                  src_port: int = 10000, dst_port: int = 80,
-                 start_time_ns: int = 0,
+                 start_time_ns: TimeNs = 0,
                  max_bytes: Optional[int] = None,
                  ecn_enabled: bool = False) -> TcpFlow:
     """Create a TCP flow between two hosts and schedule its start."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Tuple
 
 from ..netsim.engine import MILLISECOND, SECOND, Event, Simulator
 from ..netsim.node import Host
@@ -37,6 +37,9 @@ from ..netsim.packet import (ACK_BYTES, HEADER_BYTES, MSS_BYTES,
 from ..netsim.tracing import FlowMonitor
 from ..obs import bus as obs_bus
 from ..obs.events import TcpStateEvent
+
+if TYPE_CHECKING:
+    from ..core.units import Bytes, TimeNs
 from .cca import AckContext, CongestionControl
 from .intervals import IntervalSet
 
@@ -59,7 +62,7 @@ class _SegmentInfo:
     """Bookkeeping for one transmitted data segment."""
 
     end_seq: int
-    sent_time_ns: int
+    sent_time_ns: TimeNs
     delivered_at_send: int
 
 
@@ -67,11 +70,11 @@ class RttEstimator:
     """RFC 6298 smoothed RTT and retransmission timeout."""
 
     def __init__(self) -> None:
-        self.srtt_ns: Optional[int] = None
-        self.rttvar_ns: int = 0
-        self.rto_ns: int = INITIAL_RTO_NS
+        self.srtt_ns: Optional[TimeNs] = None
+        self.rttvar_ns: TimeNs = 0
+        self.rto_ns: TimeNs = INITIAL_RTO_NS
 
-    def observe(self, rtt_ns: int) -> None:
+    def observe(self, rtt_ns: TimeNs) -> None:
         if self.srtt_ns is None:
             self.srtt_ns = rtt_ns
             self.rttvar_ns = rtt_ns // 2
@@ -157,11 +160,11 @@ class TcpSender:
         self._try_send()
 
     @property
-    def in_flight_bytes(self) -> int:
+    def in_flight_bytes(self) -> Bytes:
         return self.snd_nxt - self.snd_una
 
     @property
-    def pipe_bytes(self) -> int:
+    def pipe_bytes(self) -> Bytes:
         """Outstanding bytes believed to be in the network.
 
         FACK-style estimate: everything between the forward-most SACKed
@@ -182,13 +185,13 @@ class TcpSender:
     def effective_cwnd_bytes(self) -> float:
         return self.cca.cwnd_bytes + self._inflation_bytes
 
-    def _app_bytes_remaining(self) -> Optional[int]:
+    def _app_bytes_remaining(self) -> Optional[Bytes]:
         if self.max_bytes is None:
             return None
         return max(self.max_bytes - self.snd_nxt, 0)
 
     # -- transmission -------------------------------------------------------
-    def _next_payload_size(self) -> int:
+    def _next_payload_size(self) -> Bytes:
         remaining = self._app_bytes_remaining()
         if remaining is None:
             return MSS_BYTES
@@ -535,7 +538,7 @@ class TcpReceiver:
         host.register_handler(flow, self._on_data_packet)
 
     @property
-    def out_of_order_bytes(self) -> int:
+    def out_of_order_bytes(self) -> Bytes:
         return self._ranges.total_bytes
 
     def _on_data_packet(self, packet: Packet) -> None:
@@ -559,7 +562,7 @@ class TcpReceiver:
             self._deliver(new_nxt - self.rcv_nxt)
             self._ranges.prune_below(self.rcv_nxt)
 
-    def _deliver(self, payload_bytes: int) -> None:
+    def _deliver(self, payload_bytes: Bytes) -> None:
         self.rcv_nxt += payload_bytes
         self.delivered_bytes += payload_bytes
         if self.monitor is not None:

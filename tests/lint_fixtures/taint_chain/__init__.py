@@ -1,0 +1,1 @@
+"""Fixture: a source->sink determinism-taint chain across modules."""

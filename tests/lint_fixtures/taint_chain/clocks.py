@@ -1,0 +1,7 @@
+"""The taint source: a host-clock read two calls away from the sink."""
+
+import time
+
+
+def jitter():
+    return time.monotonic()

@@ -1,0 +1,8 @@
+"""The sink: feeds a helper-derived value into the scheduler."""
+
+from .helpers import mixed_delay
+
+
+def drive(sim):
+    delay_ns = mixed_delay()
+    sim.schedule(delay_ns, print)

@@ -1,0 +1,7 @@
+"""The middle of the chain: launders the clock read through a helper."""
+
+from .clocks import jitter
+
+
+def mixed_delay():
+    return int(jitter() * 10) + 5

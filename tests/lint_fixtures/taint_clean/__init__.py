@@ -1,0 +1,1 @@
+"""Fixture: a suppressed source must not seed taint."""

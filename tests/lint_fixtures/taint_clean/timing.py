@@ -1,0 +1,13 @@
+"""Same shape as taint_chain, but the source is triaged inline."""
+
+import time
+
+
+def wall_elapsed():
+    # Host-side progress timing, never enters simulation state.
+    return time.monotonic()  # simlint: allow[D103] host-side progress timing only
+
+
+def drive(sim):
+    elapsed = wall_elapsed()
+    sim.schedule(1000, print, elapsed)

@@ -1,0 +1,1 @@
+"""Fixture package: one module per U4xx rule."""

@@ -1,0 +1,16 @@
+"""Annotated callees for the cross-module call-site checks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.units import Seconds, TimeNs
+
+
+def hold_for(duration_ns: TimeNs) -> TimeNs:
+    return duration_ns
+
+
+def as_seconds(value_ns: TimeNs) -> Seconds:
+    return value_ns / 1_000_000_000

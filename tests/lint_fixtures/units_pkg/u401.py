@@ -1,0 +1,19 @@
+"""U401: arithmetic/comparison between incompatible dimensions."""
+
+SECOND = 1_000_000_000
+
+
+def bad_add(delay_ns, timeout_s):
+    return delay_ns + timeout_s  # must flag: ns + s
+
+
+def bad_compare(deadline_ns, budget_s):
+    return deadline_ns < budget_s  # must flag: ns vs s
+
+
+def ok_scaled(delay_ns, timeout_s):
+    return delay_ns + timeout_s * SECOND  # scale factor converts
+
+
+def ok_same_dim(a_ns, b_ns):
+    return a_ns + b_ns

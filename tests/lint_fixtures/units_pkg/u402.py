@@ -1,0 +1,20 @@
+"""U402: dimension mismatch through assignments and call sites."""
+
+from .sigs import hold_for
+
+
+def bad_flow(timeout_s):
+    pending = timeout_s
+    deadline_ns = pending  # must flag: s value into ns name
+    return deadline_ns
+
+
+def bad_call(timeout_s):
+    wait = timeout_s
+    return hold_for(wait)  # must flag: s value into TimeNs param
+
+
+def ok_flow(timeout_ns):
+    pending = timeout_ns
+    deadline_ns = pending
+    return deadline_ns

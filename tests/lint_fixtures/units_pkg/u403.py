@@ -1,0 +1,15 @@
+"""U403: bytes vs bits without the x8 conversion."""
+
+SECOND = 1_000_000_000
+
+
+def bad_rate(size_bytes, rate_bps):
+    return size_bytes / rate_bps  # must flag: missing x8
+
+
+def ok_rate(size_bytes, rate_bps):
+    return size_bytes * 8 * SECOND / rate_bps  # canonical idiom
+
+
+def ok_prescaled(size_bits, rate_bps):
+    return size_bits / rate_bps

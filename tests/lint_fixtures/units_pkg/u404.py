@@ -1,0 +1,14 @@
+"""U404: float contamination reaching ns slots through dataflow."""
+
+
+def bad_float_flow(base_ns):
+    scaled = base_ns * 1.5
+    carried = scaled
+    deadline_ns = carried  # must flag: float since the scaling line
+    return deadline_ns
+
+
+def ok_laundered(base_ns):
+    scaled = int(base_ns * 1.5)
+    deadline_ns = scaled
+    return deadline_ns

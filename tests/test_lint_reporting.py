@@ -1,0 +1,286 @@
+"""The simlint reporting layer: fingerprints, baselines, SARIF.
+
+Covers the full baseline lifecycle (create via --update-baseline,
+suppress on re-run, go stale as S904 when the hazard is fixed, reasons
+surviving refreshes), the SARIF 2.1.0 shape, and the determinism
+contract: byte-identical SARIF/JSON output across processes with
+different hash seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (BaselineEntry, BaselineError,
+                                     apply_baseline,
+                                     fingerprint_findings,
+                                     load_baseline, render_baseline,
+                                     updated_entries)
+from repro.analysis.linter import run_lint
+from repro.analysis.sarif import render_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SIMLINT = REPO_ROOT / "tools" / "simlint.py"
+
+DIRTY = textwrap.dedent("""\
+    import time
+
+
+    def stamp():
+        return time.time()
+
+
+    def bucket(flow, n):
+        return hash(flow) % n
+""")
+
+
+def run_cli(args, cwd, hashseed="0"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = hashseed
+    return subprocess.run(
+        [sys.executable, str(SIMLINT), *args],
+        capture_output=True, text=True, cwd=str(cwd), env=env)
+
+
+# -- fingerprints ------------------------------------------------------
+
+def fingerprints_for(tree: Path):
+    run = run_lint([str(tree)])
+    return fingerprint_findings(run.findings, run.sources)
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    before = {fp for _, fp in fingerprints_for(tmp_path)}
+    dirty.write_text("# a new leading comment\n\n" + DIRTY)
+    after = {fp for _, fp in fingerprints_for(tmp_path)}
+    assert before == after
+
+
+def test_fingerprints_distinguish_identical_lines(tmp_path):
+    (tmp_path / "twice.py").write_text(textwrap.dedent("""\
+        def a(flow):
+            return hash(flow)
+
+
+        def b(flow):
+            return hash(flow)
+    """))
+    pairs = fingerprints_for(tmp_path)
+    assert len(pairs) == 2
+    assert pairs[0][1] != pairs[1][1]  # occurrence index disambiguates
+
+
+# -- baseline API ------------------------------------------------------
+
+def test_baseline_round_trip_and_staleness(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    pairs = fingerprints_for(tmp_path)
+    entries = updated_entries(pairs, [])
+    text = render_baseline(entries)
+    baseline = tmp_path / "base.json"
+    baseline.write_text(text)
+
+    loaded = load_baseline(baseline)
+    assert loaded == sorted(entries, key=lambda e: (e.path, e.rule_id,
+                                                    e.fingerprint))
+    kept, stale = apply_baseline(pairs, loaded, baseline)
+    assert kept == [] and stale == []
+
+    # Fix one hazard: its entry must surface as S904.
+    dirty.write_text(DIRTY.replace("hash(flow) % n", "0"))
+    kept, stale = apply_baseline(fingerprints_for(tmp_path), loaded,
+                                 baseline)
+    assert kept == []
+    assert [f.rule_id for f in stale] == ["S904"]
+    assert "D101" in stale[0].message
+    assert stale[0].path == str(baseline)
+
+
+def test_updated_entries_preserve_reasons(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    pairs = fingerprints_for(tmp_path)
+    first = updated_entries(pairs, [])
+    triaged = [BaselineEntry(e.fingerprint, e.rule_id, e.path,
+                             f"triaged: {e.rule_id}") for e in first]
+    refreshed = updated_entries(pairs, triaged)
+    assert {e.reason for e in refreshed} == \
+        {f"triaged: {e.rule_id}" for e in first}
+    # A brand-new finding would get the placeholder instead.
+    assert all("TODO" not in e.reason for e in refreshed)
+
+
+def test_render_baseline_is_deterministic(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    entries = updated_entries(fingerprints_for(tmp_path), [])
+    assert render_baseline(entries) == \
+        render_baseline(list(reversed(entries)))
+    assert render_baseline(entries).endswith("\n")
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+# -- CLI lifecycle -----------------------------------------------------
+
+def test_cli_baseline_lifecycle(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    baseline = tmp_path / ".simlint-baseline.json"
+
+    # 1. Dirty tree, no baseline: findings, exit 1.
+    result = run_cli(["dirty.py"], tmp_path)
+    assert result.returncode == 1
+
+    # 2. Adopt the findings.
+    result = run_cli(["--baseline", baseline.name, "--update-baseline",
+                      "dirty.py"], tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert baseline.exists()
+    assert "TODO" in baseline.read_text()
+
+    # 3. Baselined tree is clean.
+    result = run_cli(["--baseline", baseline.name, "dirty.py"],
+                     tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 findings" in result.stdout
+
+    # 4. Fixing a hazard makes its entry stale: S904, exit 1.
+    (tmp_path / "dirty.py").write_text(
+        DIRTY.replace("hash(flow) % n", "0"))
+    result = run_cli(["--baseline", baseline.name, "dirty.py"],
+                     tmp_path)
+    assert result.returncode == 1
+    assert "S904" in result.stdout
+
+    # 5. --update-baseline prunes it again.
+    result = run_cli(["--baseline", baseline.name, "--update-baseline",
+                      "dirty.py"], tmp_path)
+    assert result.returncode == 0
+    result = run_cli(["--baseline", baseline.name, "dirty.py"],
+                     tmp_path)
+    assert result.returncode == 0
+
+
+def test_cli_update_baseline_requires_baseline(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    result = run_cli(["--update-baseline", "dirty.py"], tmp_path)
+    assert result.returncode == 2
+    assert "--baseline" in result.stderr
+
+
+def test_cli_rejects_corrupt_baseline(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    (tmp_path / "base.json").write_text("[]")
+    result = run_cli(["--baseline", "base.json", "dirty.py"], tmp_path)
+    assert result.returncode == 2
+
+
+# -- SARIF -------------------------------------------------------------
+
+def sarif_for(tmp_path):
+    run = run_lint([str(tmp_path)])
+    return json.loads(render_sarif(
+        fingerprint_findings(run.findings, run.sources)))
+
+
+def test_sarif_shape(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    payload = sarif_for(tmp_path)
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    fired = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert fired == {"D101", "D103"}  # only fired rules are listed
+    for result in run["results"]:
+        assert result["ruleId"] in fired
+        rule_index = result["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][rule_index]["id"] == \
+            result["ruleId"]
+        assert "simlintFingerprint/v1" in result["partialFingerprints"]
+
+
+def test_sarif_levels(tmp_path):
+    (tmp_path / "dirty.py").write_text(
+        DIRTY + "\n\ndef collect(items=[]):\n    return items\n")
+    payload = sarif_for(tmp_path)
+    levels = {result["ruleId"]: result["level"]
+              for result in payload["runs"][0]["results"]}
+    assert levels["D101"] == "error"
+    assert levels["H301"] == "warning"
+
+
+def test_sarif_taint_results_have_related_locations(tmp_path):
+    (tmp_path / "chain.py").write_text(textwrap.dedent("""\
+        import time
+
+
+        def stamp():
+            return time.monotonic()
+
+
+        def drive(sim):
+            sim.schedule(int(stamp()), print)
+    """))
+    payload = sarif_for(tmp_path)
+    d201 = next(r for r in payload["runs"][0]["results"]
+                if r["ruleId"] == "D201")
+    related = d201["relatedLocations"]
+    assert related and related[0]["physicalLocation"][
+        "region"]["startLine"] == 5
+
+
+def test_cli_sarif_stdout_suppresses_text_report(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    result = run_cli(["--sarif", "-", "dirty.py"], tmp_path)
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)  # nothing but SARIF on stdout
+    assert payload["version"] == "2.1.0"
+
+
+# -- determinism of the reports ----------------------------------------
+
+def test_sarif_and_json_are_byte_identical_across_processes(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    (tmp_path / "chain.py").write_text(textwrap.dedent("""\
+        import time
+
+
+        def stamp():
+            return time.monotonic()
+
+
+        def drive(sim):
+            sim.schedule(int(stamp()), print)
+    """))
+    runs = [run_cli(["--sarif", "-", "dirty.py", "chain.py"],
+                    tmp_path, hashseed=seed) for seed in ("1", "2")]
+    assert runs[0].stdout == runs[1].stdout
+    jsons = [run_cli(["--json", "dirty.py", "chain.py"],
+                     tmp_path, hashseed=seed) for seed in ("3", "4")]
+    assert jsons[0].stdout == jsons[1].stdout
+
+
+def test_sarif_file_output_matches_stdout(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    to_stdout = run_cli(["--sarif", "-", "dirty.py"], tmp_path)
+    run_cli(["--sarif", "out.sarif", "dirty.py"], tmp_path)
+    assert (tmp_path / "out.sarif").read_text() == to_stdout.stdout

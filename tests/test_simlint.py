@@ -247,6 +247,17 @@ def test_s902_flags_stale_suppression():
     assert {f.rule_id for f in found} == {"S902"}
 
 
+def test_s903_flags_unknown_rule_id():
+    found = findings_for("""
+        def quiet():
+            return 1  # simlint: allow[D999] typo'd rule id
+    """)
+    ids = {f.rule_id for f in found}
+    assert "S903" in ids
+    # The typo'd comment also matches nothing, so it is stale too.
+    assert "S902" in ids
+
+
 def test_select_skips_suppression_hygiene():
     found = lint_source(
         "x = 1  # simlint: allow[D101] nothing here\n",
@@ -264,10 +275,14 @@ def test_e901_on_syntax_error():
 # -- catalog sanity ------------------------------------------------------------
 
 def test_every_checker_rule_has_a_must_flag_fixture():
-    # Each D/U/H rule above has at least one must-flag case; this test
-    # pins the catalog so adding a rule without a fixture fails loudly.
+    # Each D/U/H rule has at least one must-flag case — the local
+    # rules above, the cross-module ones in test_taint.py and
+    # test_unitcheck.py (over tests/lint_fixtures/).  This pins the
+    # catalog so adding a rule without a fixture fails loudly.
     assert set(CHECKER_RULE_IDS) == {
-        "D101", "D102", "D103", "D104", "U201", "U202", "H301", "H302"}
+        "D101", "D102", "D103", "D104", "D201", "D202",
+        "U201", "U202", "U401", "U402", "U403", "U404",
+        "H301", "H302"}
 
 
 def test_rules_have_ids_hints_and_series():

@@ -1,0 +1,116 @@
+"""repro.core.units: the checked conversion helpers.
+
+The aliases themselves are transparent (NewType over int/float); what
+these tests pin down is the *checked* part — every helper rejects
+out-of-dimension inputs with UnitError instead of silently producing a
+corrupted quantity — plus exactness of the conversions the simulator's
+byte-identity contract depends on.
+"""
+
+import math
+
+import pytest
+
+from repro.core.units import (BITS_PER_BYTE, NS_PER_S, UnitError,
+                              bits_from_bytes, bytes_from_bits,
+                              ns_from_seconds, ratio_of,
+                              rate_from_volume, seconds_from_ns,
+                              transmit_time_ns)
+
+
+# -- time --------------------------------------------------------------
+
+def test_ns_from_seconds_rounds_to_nearest_ns():
+    assert ns_from_seconds(1.5) == 1_500_000_000
+    assert ns_from_seconds(0) == 0
+    # Sub-ns fractions round, never truncate.
+    assert ns_from_seconds(1e-9 * 0.6) == 1
+
+
+def test_ns_seconds_round_trip_is_exact_for_whole_ns():
+    for value_ns in (0, 1, 17, NS_PER_S, 3 * NS_PER_S + 250):
+        assert ns_from_seconds(seconds_from_ns(value_ns)) == value_ns
+
+
+def test_seconds_from_ns_requires_int():
+    with pytest.raises(UnitError):
+        seconds_from_ns(1.5)
+    with pytest.raises(UnitError):
+        seconds_from_ns(True)
+
+
+def test_ns_from_seconds_rejects_non_finite():
+    with pytest.raises(UnitError):
+        ns_from_seconds(float("inf"))
+    with pytest.raises(UnitError):
+        ns_from_seconds(float("nan"))
+    with pytest.raises(UnitError):
+        ns_from_seconds("1.0")
+
+
+# -- bytes / bits ------------------------------------------------------
+
+def test_bits_bytes_conversions_are_exact():
+    assert bits_from_bytes(1500) == 12_000
+    assert bytes_from_bits(12_000) == 1500
+    assert bytes_from_bits(bits_from_bytes(0)) == 0
+
+
+def test_bytes_from_bits_rejects_partial_bytes():
+    with pytest.raises(UnitError):
+        bytes_from_bits(12_001)
+
+
+def test_byte_bit_helpers_require_int():
+    with pytest.raises(UnitError):
+        bits_from_bytes(1500.0)
+    with pytest.raises(UnitError):
+        bytes_from_bits(True)
+
+
+# -- rates -------------------------------------------------------------
+
+def test_rate_from_volume():
+    assert rate_from_volume(10_000_000, 1.0) == 10e6
+    assert rate_from_volume(5_000, 0.5) == 10_000
+
+
+def test_rate_from_volume_rejects_non_positive_duration():
+    with pytest.raises(UnitError):
+        rate_from_volume(1000, 0)
+    with pytest.raises(UnitError):
+        rate_from_volume(1000, -1.0)
+
+
+def test_transmit_time_matches_the_inline_idiom():
+    # The helper is the checked form of bytes * 8 * SECOND / rate; it
+    # must agree with the inline arithmetic used on the Link hot path.
+    for size_bytes, rate_bps in ((1500, 10e6), (64, 1e9), (9000, 40e9)):
+        expected = int(round(
+            size_bytes * BITS_PER_BYTE * NS_PER_S / rate_bps))
+        assert transmit_time_ns(size_bytes, rate_bps) == expected
+    assert isinstance(transmit_time_ns(1500, 10e6), int)
+
+
+def test_transmit_time_rejects_bad_rate():
+    with pytest.raises(UnitError):
+        transmit_time_ns(1500, 0)
+    with pytest.raises(UnitError):
+        transmit_time_ns(1500, float("nan"))
+
+
+# -- ratios ------------------------------------------------------------
+
+def test_ratio_of():
+    assert ratio_of(1, 4) == 0.25
+    assert math.isclose(ratio_of(2.0, 3.0), 2.0 / 3.0)
+
+
+def test_ratio_of_rejects_zero_denominator():
+    with pytest.raises(UnitError):
+        ratio_of(1, 0)
+
+
+def test_unit_error_is_a_type_error():
+    # Callers that guard with except TypeError keep working.
+    assert issubclass(UnitError, TypeError)
