@@ -10,6 +10,8 @@ does) to track the trajectory per PR.
 
 import pytest
 
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
 from repro.netsim.engine import (CalendarScheduler, HeapScheduler,
                                  MICROSECOND, Simulator)
 from repro.netsim.fq_codel import FqCoDelQueue
@@ -18,6 +20,8 @@ from repro.netsim.node import Host
 from repro.netsim.packet import FlowId, MTU_BYTES, Packet
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.tracing import TimeSeries
+
+from conftest import bench_duration_s, run_once
 
 
 def _churn(scheduler_name, events=10_000):
@@ -153,6 +157,61 @@ def test_timeseries_add(benchmark):
 
     benchmark(add_10k)
     assert series.total > 0
+
+
+#: Packet-leg event counts, read by the hybrid leg of the same session
+#: to report the event-count reduction (keyed by scenario name).
+_BACKEND_EVENTS = {}
+
+
+def _backend_scenario():
+    """A warmup-plus-steady-state scenario where the hybrid backend
+    has room to hand off: 30 simulated seconds against a ~9 s warmup
+    (``CEBINAE_BENCH_DURATION=60`` doubles the fluid fraction and
+    roughly doubles the reported reduction)."""
+    spec = ScenarioSpec(name="bench-backend", rate_bps=5e6,
+                        rtts_ms=(128.0, 256.0), buffer_mtus=40,
+                        cca_mix=(("cubic", 4), ("cubic", 4)),
+                        duration_s=bench_duration_s(30.0))
+    return ScalePolicy().apply(spec)
+
+
+@pytest.mark.benchmark(group="hotpath-backend")
+def test_scenario_backend(benchmark, bench_backend):
+    """One dumbbell scenario under the selected backend(s).
+
+    ``extra_info`` carries the numbers BENCH_hybrid.json exists for:
+    events, events/sec, sim/wall ratio, and (on the hybrid leg, when
+    the packet leg ran in the same session) the event-count reduction.
+    """
+    scaled = _backend_scenario()
+    result = run_once(benchmark, run_scenario, scaled, Discipline.FIFO,
+                      backend=bench_backend)
+    assert result.events > 0
+    stats = getattr(benchmark, "stats", None)
+    wall_s = stats.stats.median if stats is not None else 0.0
+    benchmark.extra_info["backend"] = bench_backend
+    benchmark.extra_info["events"] = result.events
+    if wall_s > 0:
+        benchmark.extra_info["events_per_sec"] = \
+            round(result.events / wall_s)
+        benchmark.extra_info["sim_wall_ratio"] = \
+            round(result.duration_s / wall_s, 2)
+    _BACKEND_EVENTS[scaled.spec.name] = \
+        dict(_BACKEND_EVENTS.get(scaled.spec.name, {}),
+             **{bench_backend: result.events})
+    if bench_backend == "hybrid":
+        summary = result.hybrid_summary or {}
+        benchmark.extra_info["hybrid_mode"] = summary.get("mode", "")
+        benchmark.extra_info["hybrid_reason"] = \
+            summary.get("reason", "")
+        assert summary.get("mode") == "fluid", \
+            "scenario too short for a fluid handoff"
+        packet_events = \
+            _BACKEND_EVENTS[scaled.spec.name].get("packet")
+        if packet_events:
+            benchmark.extra_info["event_reduction_x"] = \
+                round(packet_events / result.events, 2)
 
 
 @pytest.mark.benchmark(group="hotpath-scheduler")

@@ -100,6 +100,8 @@ class RunSpec:
     seed: int = 0
     #: Deterministic fault injection for this point (None = fault-free).
     faults: Optional[FaultSpec] = None
+    #: Simulation backend ("packet" or "hybrid"); see run_scenario.
+    backend: str = "packet"
     #: Per-run guards (see run_scenario); they bound execution without
     #: changing what a completed run produces, so they are not part of
     #: the cache fingerprint.
@@ -115,6 +117,8 @@ class RunSpec:
             blob = json.dumps(self.faults.to_dict(), sort_keys=True)
             digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
             base = f"{base}+faults:{digest[:6]}"
+        if self.backend != "packet":
+            base = f"{base}~{self.backend}"
         return base
 
     def params(self) -> Dict[str, Any]:
@@ -128,6 +132,10 @@ class RunSpec:
             # identical to those minted before fault injection existed,
             # or every populated cache would silently go cold.
             params["faults"] = self.faults
+        if self.backend != "packet":
+            # Same cache-compat rule: packet-backend fingerprints must
+            # match those minted before the hybrid backend existed.
+            params["backend"] = self.backend
         return params
 
     def fingerprint(self) -> str:
@@ -482,6 +490,8 @@ def _scenario_task(spec: RunSpec) -> Task:
         "seed": spec.seed}
     if spec.faults is not None:
         kwargs["faults"] = spec.faults
+    if spec.backend != "packet":
+        kwargs["backend"] = spec.backend
     if spec.wall_limit_s is not None:
         kwargs["wall_limit_s"] = spec.wall_limit_s
     if spec.max_events is not None:

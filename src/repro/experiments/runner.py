@@ -20,6 +20,12 @@ from ..faults.spec import FaultSpec
 from ..faults.watchdog import RunAborted, WallClockWatchdog
 from ..netsim.engine import (SECOND, SimulationError, Simulator,
                              seconds)
+from ..netsim.fluid import (REASON_FAULTS, REASON_SHORT_RUN,
+                            REASON_UNSTABLE, FluidPhaseReport,
+                            HybridPolicy, advance_fluid,
+                            equilibrium_schedule, measured_rates_bps,
+                            pool_rates, rate_divergence, rate_pool_key,
+                            wire_overhead_ratio)
 from ..netsim.fq_codel import fq_codel_factory
 from ..netsim.packet import FlowId, MTU_BYTES
 from ..netsim.queues import DropTailQueue
@@ -64,6 +70,10 @@ class ScenarioResult:
     #: fault-free results stay byte-identical to pre-fault-subsystem
     #: outputs.
     fault_summary: Optional[Dict[str, Any]] = None
+    #: Hybrid-backend account (see FluidPhaseReport.to_dict); None for
+    #: packet-backend runs, and then absent from the JSON payload so
+    #: packet results stay byte-identical to pre-hybrid outputs.
+    hybrid_summary: Optional[Dict[str, Any]] = None
 
     @property
     def jfi(self) -> float:
@@ -115,6 +125,8 @@ class ScenarioResult:
         }
         if self.fault_summary is not None:
             data["fault_summary"] = self.fault_summary
+        if self.hybrid_summary is not None:
+            data["hybrid_summary"] = self.hybrid_summary
         return data
 
     @classmethod
@@ -144,6 +156,7 @@ class ScenarioResult:
                         for sample in data["cp_history"]]
             if data["cp_history"] is not None else None,
             fault_summary=data.get("fault_summary"),
+            hybrid_summary=data.get("hybrid_summary"),
         )
 
 
@@ -169,23 +182,73 @@ def queue_factory_for(discipline: Discipline, scaled: ScaledScenario,
     raise ValueError(f"unknown discipline {discipline}")
 
 
-def run_scenario(scaled: ScaledScenario, discipline: Discipline,
-                 collect_series: bool = False,
-                 record_history: bool = False,
-                 seed: int = 0,
-                 faults: Optional[FaultSpec] = None,
-                 wall_limit_s: Optional[float] = None,
-                 max_events: Optional[int] = None) -> ScenarioResult:
-    """Execute one scenario under one discipline.
+#: Recognised simulation backends (see DESIGN.md section 14).
+BACKENDS = ("packet", "hybrid")
 
-    ``seed`` varies the hosts' timing-noise RNG so replications of the
-    same scenario are statistically independent yet reproducible.
-    ``faults`` injects a deterministic fault schedule (the no-fault path
-    is untouched: no extra events, RNG draws, or JSON keys).
-    ``wall_limit_s``/``max_events`` bound the run; a breach raises
-    :class:`~repro.faults.watchdog.RunAborted` carrying a partial-result
-    snapshot.
+
+@dataclass
+class _Harness:
+    """One built-and-wired scenario, ready to run.
+
+    Groups everything :func:`run_scenario` constructs before the event
+    loop starts, so the packet and hybrid paths share one build and
+    one result-collection routine.
     """
+
+    sim: Simulator
+    dumbbell: Dumbbell
+    monitor: FlowMonitor
+    flows: List[TcpFlow]
+    agents: List[CebinaeControlPlane]
+    schedule: Optional[FaultSchedule]
+    duration_ns: int
+    watchdog: Optional[WallClockWatchdog]
+    max_events: Optional[int]
+
+    def partial_snapshot(self) -> Dict[str, Any]:
+        """What the run had achieved when a guard stopped it."""
+        return {
+            "events": self.sim.processed_events,
+            "sim_time_ns": self.sim.now_ns,
+            "duration_ns": self.duration_ns,
+            "delivered_bytes": self.delivered_bytes(),
+        }
+
+    def delivered_bytes(self) -> List[int]:
+        records = self.monitor.records
+        return [records[flow.flow_id].delivered_bytes
+                if flow.flow_id in records else 0
+                for flow in self.flows]
+
+    def run_until(self, until_ns: int) -> None:
+        """Advance the packet engine, honouring the run's guards.
+
+        ``max_events`` is a whole-run budget: segmented (hybrid) runs
+        draw each segment from what the previous segments left over.
+        """
+        budget = self.max_events
+        if budget is not None:
+            budget -= self.sim.processed_events
+            if budget <= 0:
+                raise RunAborted(
+                    f"exceeded max_events={self.max_events}",
+                    partial=self.partial_snapshot())
+        try:
+            self.sim.run(until_ns=until_ns, max_events=budget,
+                         watchdog=self.watchdog)
+        except SimulationError as exc:
+            # The event-budget guard; rewrap with the partial payload
+            # so the executor records progress alongside the failure.
+            raise RunAborted(str(exc),
+                             partial=self.partial_snapshot()) from exc
+
+
+def _build_harness(scaled: ScaledScenario, discipline: Discipline,
+                   record_history: bool, seed: int,
+                   faults: Optional[FaultSpec],
+                   wall_limit_s: Optional[float],
+                   max_events: Optional[int]) -> _Harness:
+    """Build the topology, flows, faults, and guards for one run."""
     spec = scaled.spec
     plans = spec.flow_plans()
     agents: List[CebinaeControlPlane] = []
@@ -221,31 +284,31 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
         schedule.install(dumbbell.network.links,
                          list(dumbbell.network.nodes.values()),
                          duration_ns)
-
-    def partial_snapshot() -> Dict[str, Any]:
-        """What the run had achieved when a guard stopped it."""
-        return {
-            "events": sim.processed_events,
-            "sim_time_ns": sim.now_ns,
-            "duration_ns": duration_ns,
-            "delivered_bytes": [
-                monitor.records[flow.flow_id].delivered_bytes
-                if flow.flow_id in monitor.records else 0
-                for flow in flows],
-        }
-
-    watchdog = None
+    harness = _Harness(sim=sim, dumbbell=dumbbell, monitor=monitor,
+                       flows=flows, agents=agents, schedule=schedule,
+                       duration_ns=duration_ns, watchdog=None,
+                       max_events=max_events)
     if wall_limit_s is not None:
-        watchdog = WallClockWatchdog(wall_limit_s,
-                                     partial=partial_snapshot)
-    try:
-        sim.run(until_ns=duration_ns, max_events=max_events,
-                watchdog=watchdog)
-    except SimulationError as exc:
-        # The event-budget guard; rewrap with the partial payload so
-        # the executor records progress alongside the failure.
-        raise RunAborted(str(exc), partial=partial_snapshot()) from exc
+        harness.watchdog = WallClockWatchdog(
+            wall_limit_s, partial=harness.partial_snapshot)
+    return harness
 
+
+def _collect_result(harness: _Harness, scaled: ScaledScenario,
+                    discipline: Discipline, collect_series: bool,
+                    record_history: bool,
+                    extra_wire_bytes: int = 0) -> ScenarioResult:
+    """Read the metrics the paper reports out of a finished harness.
+
+    ``extra_wire_bytes`` accounts for bottleneck wire volume the fluid
+    phase synthesised without moving packets; the packet path passes 0
+    and the arithmetic stays bit-for-bit what it always was.
+    """
+    spec = scaled.spec
+    plans = spec.flow_plans()
+    sim, monitor, flows = harness.sim, harness.monitor, harness.flows
+    dumbbell, duration_ns = harness.dumbbell, harness.duration_ns
+    agents, schedule = harness.agents, harness.schedule
     goodputs = [monitor.goodputs_bps(duration_ns)[flow.flow_id]
                 for flow in flows]
     series = None
@@ -262,8 +325,8 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
         flow_scale=scaled.flow_scale,
         cca_names=[plan.cca for plan in plans],
         goodputs_bps=goodputs,
-        throughput_bps=dumbbell.bottleneck.tx_bytes * 8 * SECOND
-        / duration_ns,
+        throughput_bps=(dumbbell.bottleneck.tx_bytes + extra_wire_bytes)
+        * 8 * SECOND / duration_ns,
         events=sim.processed_events,
         lbf_drops=getattr(queue, "lbf_drops", 0),
         lbf_delays=getattr(queue, "lbf_delays", 0),
@@ -296,6 +359,173 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
     if registry is not None:
         obs_metrics.record_scenario(registry, result)
     return result
+
+
+def run_scenario(scaled: ScaledScenario, discipline: Discipline,
+                 collect_series: bool = False,
+                 record_history: bool = False,
+                 seed: int = 0,
+                 faults: Optional[FaultSpec] = None,
+                 wall_limit_s: Optional[float] = None,
+                 max_events: Optional[int] = None,
+                 backend: str = "packet",
+                 hybrid_policy: Optional[HybridPolicy] = None
+                 ) -> ScenarioResult:
+    """Execute one scenario under one discipline.
+
+    ``seed`` varies the hosts' timing-noise RNG so replications of the
+    same scenario are statistically independent yet reproducible.
+    ``faults`` injects a deterministic fault schedule (the no-fault path
+    is untouched: no extra events, RNG draws, or JSON keys).
+    ``wall_limit_s``/``max_events`` bound the run; a breach raises
+    :class:`~repro.faults.watchdog.RunAborted` carrying a partial-result
+    snapshot.
+
+    ``backend`` selects the simulation backend: ``"packet"`` (the
+    default; full packet granularity end to end, byte-identical to
+    every release since the engine landed) or ``"hybrid"`` (packet
+    warmup, then fluid-rate advancement once the run is measurably
+    steady — see :mod:`repro.netsim.fluid` and DESIGN.md section 14).
+    ``hybrid_policy`` tunes the handoff rules; None uses the
+    conservative defaults.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from "
+                         f"{BACKENDS}")
+    harness = _build_harness(scaled, discipline, record_history, seed,
+                             faults, wall_limit_s, max_events)
+    if backend == "hybrid":
+        return _run_hybrid(harness, scaled, discipline, collect_series,
+                           record_history, faults,
+                           hybrid_policy or HybridPolicy())
+    harness.run_until(harness.duration_ns)
+    return _collect_result(harness, scaled, discipline, collect_series,
+                           record_history)
+
+
+def _run_hybrid(harness: _Harness, scaled: ScaledScenario,
+                discipline: Discipline, collect_series: bool,
+                record_history: bool, faults: Optional[FaultSpec],
+                policy: HybridPolicy) -> ScenarioResult:
+    """The hybrid orchestration: warmup, stability probe, fluid phase.
+
+    Epoch boundaries the fluid phase honours by construction: flow
+    arrivals (the handoff waits for the last staggered start plus a
+    settling window), link fault windows (fault runs never demote),
+    and LBF rotations / CCA transients (the Cebinae schedule advances
+    one recomputation window per epoch; CCA dynamics are only modelled
+    while demonstrably quiescent — that is what the stability probe
+    checks).
+    """
+    spec = scaled.spec
+    duration_ns = harness.duration_ns
+    last_start_s = (max(spec.start_times_s)
+                    if spec.start_times_s is not None else 0.0)
+
+    def finish_packet(reason: str, extensions: int = 0,
+                      divergence: Optional[float] = None
+                      ) -> ScenarioResult:
+        harness.run_until(duration_ns)
+        report = FluidPhaseReport(
+            mode="packet", reason=reason, extensions=extensions,
+            divergence=divergence,
+            packet_events=harness.sim.processed_events)
+        return _finalise(report)
+
+    def _finalise(report: FluidPhaseReport,
+                  extra_wire_bytes: int = 0) -> ScenarioResult:
+        result = _collect_result(harness, scaled, discipline,
+                                 collect_series, record_history,
+                                 extra_wire_bytes=extra_wire_bytes)
+        result.hybrid_summary = report.to_dict()
+        registry = obs_metrics.current()
+        if registry is not None:
+            obs_metrics.record_hybrid(registry, report,
+                                      scenario=spec.name,
+                                      discipline=discipline.value)
+        return result
+
+    if faults is not None and faults.enabled:
+        # Fault windows are epoch boundaries the fluid model does not
+        # cross: degraded topologies re-converge at packet granularity.
+        return finish_packet(REASON_FAULTS)
+    if not policy.fluid_viable(spec.duration_s, spec.max_rtt_s,
+                               last_start_s):
+        # Short, transient-dominated runs (every tier-1 figure-class
+        # scenario) stay pure packet: same events, same bytes.
+        return finish_packet(REASON_SHORT_RUN)
+
+    half_ns = seconds(policy.measure_s) // 2
+    handoff_ns = seconds(policy.handoff_s(spec.max_rtt_s, last_start_s))
+    extensions = 0
+    harness.run_until(handoff_ns - 2 * half_ns)
+    first_bytes = harness.delivered_bytes()
+    wire_start = harness.dumbbell.bottleneck.tx_bytes
+    while True:
+        harness.run_until(harness.sim.now_ns + half_ns)
+        mid_bytes = harness.delivered_bytes()
+        harness.run_until(harness.sim.now_ns + half_ns)
+        tail_bytes = harness.delivered_bytes()
+        early = measured_rates_bps(first_bytes, mid_bytes, half_ns)
+        late = measured_rates_bps(mid_bytes, tail_bytes, half_ns)
+        divergence = rate_divergence(early, late, distributional=True)
+        if divergence <= policy.stability_tol:
+            break
+        still_viable = (duration_ns - (harness.sim.now_ns + 2 * half_ns)
+                        >= policy.min_fluid_fraction * duration_ns)
+        if extensions >= policy.max_extensions or not still_viable:
+            # Promotion: the run never went steady inside its warmup
+            # budget, so it keeps full packet fidelity end to end.
+            return finish_packet(REASON_UNSTABLE, extensions=extensions,
+                                 divergence=divergence)
+        extensions += 1
+        first_bytes = tail_bytes
+        wire_start = harness.dumbbell.bottleneck.tx_bytes
+
+    # Handoff.  Anchor the fluid rates at the last half-window's
+    # measured goodputs and synthesise the rest of the run.
+    handoff_at_ns = harness.sim.now_ns
+    fluid_ns = duration_ns - handoff_at_ns
+    # Anchor on the full measurement window (twice the averaging of a
+    # half-window).  Under FIFO the anchors are additionally pooled
+    # within (CCA, RTT, operating-point) classes: drop-tail mixes
+    # exchangeable flows' sawtooth phases, so their long-run averages
+    # coincide and a per-flow snapshot would freeze pure phase
+    # dispersion — but only flows at a comparable operating point are
+    # exchangeable, so the pool key includes a coarse rate bucket
+    # (see rate_pool_key) and a starved flow never averages with its
+    # healthy peers.  Cebinae anchors stay per-flow — the LBF
+    # differentiates flows by their current rate, so within-class
+    # dispersion is the very signal the modelled taxation acts on.
+    # (FQ's schedule only uses the aggregate, which pooling conserves.)
+    anchor = measured_rates_bps(first_bytes, tail_bytes, 2 * half_ns)
+    if discipline is not Discipline.CEBINAE:
+        plans = spec.flow_plans()
+        anchor = pool_rates(
+            anchor,
+            [(plan.cca, plan.rtt_s, rate_pool_key(rate))
+             for plan, rate in zip(plans, anchor)])
+    epochs = equilibrium_schedule(
+        discipline.value, anchor, fluid_ns,
+        cebinae=scaled.cebinae if discipline is Discipline.CEBINAE
+        else None)
+    payload_bytes = advance_fluid(
+        harness.monitor, [flow.flow_id for flow in harness.flows],
+        epochs, handoff_at_ns)
+    overhead = wire_overhead_ratio(
+        harness.dumbbell.bottleneck.tx_bytes - wire_start,
+        sum(tail_bytes) - sum(first_bytes))
+    report = FluidPhaseReport(
+        mode="fluid",
+        handoff_s=handoff_at_ns / SECOND,
+        fluid_s=fluid_ns / SECOND,
+        epochs=len(epochs),
+        extensions=extensions,
+        divergence=divergence,
+        packet_events=harness.sim.processed_events)
+    return _finalise(report,
+                     extra_wire_bytes=int(round(payload_bytes
+                                                * overhead)))
 
 
 def run_comparison(scaled: ScaledScenario,

@@ -21,7 +21,7 @@ packet-level simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from .metrics import jain_fairness_index
 
@@ -58,7 +58,9 @@ def taxation_trajectory(initial_rates: Sequence[float],
                         capacity: float, tau: float = 0.01,
                         delta_flow: float = 0.01,
                         growth_fraction: float = 1.0,
-                        steps: int = 200) -> ConvergenceTrace:
+                        steps: int = 200,
+                        reclaim_weights: Optional[Sequence[float]] = None
+                        ) -> ConvergenceTrace:
     """Iterate the Cebinae taxation difference equation.
 
     Args:
@@ -69,11 +71,22 @@ def taxation_trajectory(initial_rates: Sequence[float],
             flows reclaim per window (1.0 = instantly, the paper's
             "flows that can quickly reclaim available bandwidth").
         steps: windows to simulate.
+        reclaim_weights: how the released headroom splits across the
+            claiming flows.  None (the default) splits equally —
+            water-filling's local step.  The hybrid fluid backend
+            passes the measured per-flow rates, modelling CCAs that
+            reclaim in proportion to their current share (the RTT
+            bias packet simulation exhibits), so the modelled
+            convergence keeps the packet engine's fairness floor
+            instead of idealising past it.
     """
     if capacity <= 0:
         raise ValueError("capacity must be positive")
     if not initial_rates:
         raise ValueError("need at least one flow")
+    if (reclaim_weights is not None
+            and len(reclaim_weights) != len(initial_rates)):
+        raise ValueError("reclaim_weights must match initial_rates")
     rates = [max(float(rate), 0.0) for rate in initial_rates]
     trace = [list(rates)]
     for _ in range(steps):
@@ -99,9 +112,20 @@ def taxation_trajectory(initial_rates: Sequence[float],
         if not claimants:
             claimants = list(range(len(rates)))
         if claimants and headroom > 0:
-            share = growth_fraction * headroom / len(claimants)
-            for index in claimants:
-                new_rates[index] += share
+            weight_total = 0.0
+            if reclaim_weights is not None:
+                weight_total = sum(reclaim_weights[index]
+                                   for index in claimants)
+            if weight_total > 0 and reclaim_weights is not None:
+                reclaimed = growth_fraction * headroom
+                for index in claimants:
+                    new_rates[index] += (reclaimed
+                                         * reclaim_weights[index]
+                                         / weight_total)
+            else:
+                share = growth_fraction * headroom / len(claimants)
+                for index in claimants:
+                    new_rates[index] += share
         # Renormalise if infeasible (e.g. infeasible initial state).
         total = sum(new_rates)
         if total > capacity:

@@ -10,6 +10,8 @@ from :mod:`repro.core` — Cebinae), and measurement utilities.
 from .afq import AfqQueue, afq_factory
 from .engine import (MICROSECOND, MILLISECOND, NANOSECOND, SECOND, Event,
                      SimulationError, Simulator, seconds, to_seconds)
+from .fluid import (FluidPhaseReport, HybridPolicy, advance_fluid,
+                    equilibrium_schedule, rate_divergence)
 from .fq_codel import (CODEL_INTERVAL_NS, CODEL_TARGET_NS, CoDelState,
                        FqCoDelQueue, fq_codel_factory)
 from .link import Link
@@ -36,4 +38,6 @@ __all__ = [
     "Network", "PortSpec", "QueueFactory", "drop_tail_factory",
     "Dumbbell", "build_dumbbell", "ParkingLot", "build_parking_lot",
     "FlowMonitor", "FlowRecord", "LinkMonitor", "TimeSeries",
+    "FluidPhaseReport", "HybridPolicy", "advance_fluid",
+    "equilibrium_schedule", "rate_divergence",
 ]

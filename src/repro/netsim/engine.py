@@ -29,6 +29,19 @@ nondecreasing time, FIFO among ties — which
 ``tests/test_scheduler_equivalence.py`` proves by replaying random
 workloads through each and comparing the traces.
 
+**Batched event execution** (on by default, ``REPRO_BATCH=0`` to
+disable): after popping an event, the run loop drains every further
+pending event with the *same timestamp* through the scheduler's
+:meth:`EventScheduler.pop_at` fast path instead of a full ``pop``.
+Saturated links produce long same-timestamp trains (every port that
+finishes serializing within one nanosecond tick), and ``pop_at`` skips
+the calendar's year scan / the heap's bound checks for each of them.
+Batching is a pure scheduling optimisation: events still execute in
+exactly the ``(time_ns, seq)`` order of the unbatched loop (ties are
+drained min-seq first, and a callback scheduling at zero delay always
+receives a larger seq than every already-pending tie), which
+``tests/test_batched_engine.py`` pins with a hypothesis replay.
+
 Per-event argument validation (:func:`repro.analysis.invariants
 .require_int_ns`) is debug-gated: it runs when
 ``repro.analysis.invariants.DEBUG`` is on (always under pytest, or with
@@ -139,6 +152,25 @@ class EventScheduler:
         """Remove and return the minimal entry, or None when empty."""
         raise NotImplementedError
 
+    def pop_at(self, time_ns: int) -> Optional[Entry]:
+        """Pop the minimal entry *only if* its time is ``time_ns``.
+
+        The batched run loop calls this while draining a same-timestamp
+        train, where ``time_ns`` is the clock's current value — so every
+        pending entry is known to be ``>= time_ns`` and a head matching
+        it exactly is the global minimum.  Backends override this with
+        an O(1) check; the generic fallback pops and pushes back, which
+        is correct for any ordered backend but pays the churn batching
+        exists to avoid.
+        """
+        entry = self.pop()
+        if entry is None:
+            return None
+        if entry[0] != time_ns:
+            self.push(entry)
+            return None
+        return entry
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -158,6 +190,12 @@ class HeapScheduler(EventScheduler):
         if not self._heap:
             return None
         return heapq.heappop(self._heap)
+
+    def pop_at(self, time_ns: int) -> Optional[Entry]:
+        heap = self._heap
+        if heap and heap[0][0] == time_ns:
+            return heapq.heappop(heap)
+        return None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -243,6 +281,22 @@ class CalendarScheduler(EventScheduler):
                               len(self._buckets) // 2))
         return entry
 
+    def pop_at(self, time_ns: int) -> Optional[Entry]:
+        # One hash, one head compare: the day-bucket of ``time_ns``
+        # either leads with an exact tie (the global minimum, since
+        # pop_at's contract says nothing pending is earlier) or the
+        # train is over.  No year scan, and the shrink check is
+        # deferred to the next full pop — occupancy only shrinks by
+        # the train length, never below what pop() rebalances.
+        bucket = self._buckets[(time_ns // self._width)
+                               % len(self._buckets)]
+        if bucket and bucket[0][0] == time_ns:
+            entry = heapq.heappop(bucket)
+            self._size -= 1
+            self._last_time_ns = time_ns
+            return entry
+        return None
+
     def __len__(self) -> int:
         return self._size
 
@@ -296,16 +350,31 @@ class Simulator:
     or None to honour the ``REPRO_SCHEDULER`` environment variable
     (default ``heap``).  All backends execute the identical event
     sequence; the choice is purely a performance knob.
+
+    ``batch`` selects batched same-timestamp execution (see the module
+    docstring): None honours ``REPRO_BATCH`` (default on).  Batched and
+    unbatched runs execute the identical event sequence; the knob
+    exists so the equivalence is testable.
     """
 
     def __init__(self,
-                 scheduler: Union[str, EventScheduler, None] = None) -> None:
+                 scheduler: Union[str, EventScheduler, None] = None,
+                 batch: Optional[bool] = None) -> None:
         if scheduler is None:
             scheduler = os.environ.get("REPRO_SCHEDULER", "heap")
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler)
+        if batch is None:
+            batch = os.environ.get("REPRO_BATCH", "1") != "0"
         self._scheduler: EventScheduler = scheduler
+        # Hot-path bindings: schedule()/schedule_at() run once per
+        # event, so the scheduler-push attribute chain and the seq
+        # counter's __next__ are resolved here instead of per call.
+        # The scheduler never changes after construction.
+        self._push = scheduler.push
         self._seq: Iterator[int] = itertools.count()
+        self._next_seq = self._seq.__next__
+        self._batch = bool(batch)
         self._now_ns = 0
         self._running = False
         self._processed = 0
@@ -330,6 +399,11 @@ class Simulator:
         """The active scheduler backend."""
         return self._scheduler
 
+    @property
+    def batched(self) -> bool:
+        """Whether the run loop drains same-timestamp trains batched."""
+        return self._batch
+
     def schedule(self, delay_ns: TimeNs, callback: Callable[..., None],
                  *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
@@ -338,9 +412,9 @@ class Simulator:
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
         time_ns = self._now_ns + delay_ns
-        seq = next(self._seq)
+        seq = self._next_seq()
         event = Event(time_ns, seq, callback, args)
-        self._scheduler.push((time_ns, seq, event))
+        self._push((time_ns, seq, event))
         return event
 
     def schedule_at(self, time_ns: TimeNs, callback: Callable[..., None],
@@ -351,9 +425,9 @@ class Simulator:
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, now is {self._now_ns}ns")
-        seq = next(self._seq)
+        seq = self._next_seq()
         event = Event(time_ns, seq, callback, args)
-        self._scheduler.push((time_ns, seq, event))
+        self._push((time_ns, seq, event))
         return event
 
     def peek_time_ns(self) -> Optional[TimeNs]:
@@ -415,9 +489,19 @@ class Simulator:
         wall_start = profiling.monotonic() if profiler is not None else 0.0
         start_ns = self._now_ns
         # The inner loop below is the simulator's hot path: one pop, one
-        # cancelled check, two int compares and the callback per event.
+        # cancelled check, two int compares and the callback per event —
+        # and, in batched mode, one cheap pop_at per same-timestamp tie
+        # instead of a full pop + bound checks.
         scheduler = self._scheduler
         pop = scheduler.pop
+        pop_at = scheduler.pop_at if self._batch else None
+        # Friend access for the default backend: peeking the heap head
+        # inline replicates pop_at's miss test (empty, or head not at
+        # this timestamp) without a method call, and misses are the
+        # overwhelmingly common case on workloads with few ties.
+        heap = scheduler._heap if (pop_at is not None and
+                                   type(scheduler) is HeapScheduler) \
+            else None
         executed = 0
         try:
             while True:
@@ -431,18 +515,35 @@ class Simulator:
                 if until_ns is not None and time_ns > until_ns:
                     scheduler.push(entry)
                     break
-                if max_events is not None and executed >= max_events:
-                    scheduler.push(entry)
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}")
-                executed += 1
-                self._now_ns = time_ns
-                self._processed += 1
-                if watchdog is not None and not executed % watchdog_interval:
-                    watchdog()
-                if record is not None:
-                    record(event.callback)
-                event.callback(*event.args)
+                # Drain the same-timestamp train.  Ties execute in seq
+                # order (pop_at always yields the minimal pending entry)
+                # and zero-delay reschedules join the train's tail with
+                # a fresh, larger seq — the exact unbatched order.
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        scheduler.push(entry)
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}")
+                    executed += 1
+                    self._now_ns = time_ns
+                    self._processed += 1
+                    if (watchdog is not None
+                            and not executed % watchdog_interval):
+                        watchdog()
+                    if record is not None:
+                        record(event.callback)
+                    event.callback(*event.args)
+                    if pop_at is None:
+                        break
+                    if heap is not None and \
+                            (not heap or heap[0][0] != time_ns):
+                        break
+                    entry = pop_at(time_ns)
+                    while entry is not None and entry[2].cancelled:
+                        entry = pop_at(time_ns)
+                    if entry is None:
+                        break
+                    event = entry[2]
             if until_ns is not None and until_ns > self._now_ns:
                 self._now_ns = until_ns
         finally:

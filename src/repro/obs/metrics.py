@@ -230,6 +230,37 @@ def record_scenario(registry: MetricsRegistry, result: Any) -> None:
         goodput_hist.observe(goodput)
 
 
+def record_hybrid(registry: MetricsRegistry, report: Any,
+                  scenario: str = "", discipline: str = "") -> None:
+    """Fold a hybrid-backend ``FluidPhaseReport`` into ``registry``.
+
+    Duck-typed over the fluid module's report object (``mode``,
+    ``reason``, ``epochs``, ``extensions``, ``fluid_s``,
+    ``divergence``) so obs never imports the netsim layer.  A
+    ``mode="fluid"`` report counts a demotion (handoff to fluid
+    granularity); a ``mode="packet"`` report with reason
+    ``"unstable"`` counts a promotion (the warmup never went steady).
+    """
+    labels = {"scenario": scenario, "discipline": discipline}
+    registry.counter("hybrid_runs_total", mode=str(report.mode),
+                     **labels).inc()
+    if report.mode == "fluid":
+        registry.counter("hybrid_demotions_total", **labels).inc()
+        registry.counter("hybrid_fluid_epochs_total",
+                         **labels).inc(report.epochs)
+        registry.gauge("hybrid_fluid_seconds", **labels).set(
+            report.fluid_s)
+    elif report.reason:
+        registry.counter("hybrid_promotions_total",
+                         reason=str(report.reason), **labels).inc()
+    if report.extensions:
+        registry.counter("hybrid_warmup_extensions_total",
+                         **labels).inc(report.extensions)
+    if report.divergence is not None:
+        registry.gauge("hybrid_divergence", **labels).set(
+            report.divergence)
+
+
 #: The active registry, consulted once per Simulator.run by the engine.
 _ACTIVE: Optional[MetricsRegistry] = None
 
@@ -267,5 +298,5 @@ __all__ = [
     "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
     "METRICS_SCHEMA_VERSION", "MetricsRegistry", "collected", "current",
     "disable", "enable", "load_json", "load_snapshot",
-    "record_scenario",
+    "record_hybrid", "record_scenario",
 ]

@@ -19,10 +19,12 @@ cell disagrees) and rewrites the golden files.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from ..experiments.runner import BACKENDS
 from .golden import (check_golden, conformance_digests, result_digest,
                      run_compiled, write_golden)
 from .registry import SuiteRegistry
@@ -47,6 +49,8 @@ def _describe_spec(spec: SuiteSpec) -> str:
         parts.append(f"repeats={spec.repeats}")
     if spec.faults is not None and spec.faults.enabled:
         parts.append("faults")
+    if spec.backend != "packet":
+        parts.append(f"backend={spec.backend}")
     if spec.description:
         parts.append(f"— {spec.description}")
     return "  ".join(parts)
@@ -69,6 +73,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory for the on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore cached results and re-simulate")
+    parser.add_argument("--backend", choices=list(BACKENDS),
+                        help="override the simulation backend for "
+                             "every dumbbell spec in the directory "
+                             "(parking-lot specs always run "
+                             "packet-level)")
     parser.add_argument("--golden", metavar="DIR",
                         help="check results against the golden files "
                              "in DIR; exit 1 on any mismatch")
@@ -83,6 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.golden and args.update_golden:
         parser.error("--golden and --update-golden are exclusive")
+    if args.backend == "hybrid" and (args.golden or args.update_golden):
+        # Golden digests pin the packet backend's byte-identical
+        # contract; the hybrid tier is validated by tolerance, not
+        # equality (see DESIGN.md §14).
+        parser.error("--backend hybrid cannot be combined with "
+                     "--golden/--update-golden")
 
     try:
         registry = SuiteRegistry.from_directory(args.directory)
@@ -90,15 +105,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    specs: List[SuiteSpec] = list(registry)
+    if args.backend is not None:
+        specs = [spec if spec.parking is not None
+                 else dataclasses.replace(spec, backend=args.backend)
+                 for spec in specs]
+
     if args.list:
-        for spec in registry:
+        for spec in specs:
             print(_describe_spec(spec))
             for run in spec.compile():
                 print(f"  {run.label:<40} {run.fingerprint()}")
         return 0
 
     if args.update_golden:
-        for spec in registry:
+        for spec in specs:
             print(f"=== {spec.name} (conformance matrix) ===")
             digests = conformance_digests(spec)
             path = write_golden(args.update_golden, spec, digests)
@@ -107,7 +128,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     mismatches: List[str] = []
     report: Dict[str, Any] = {}
-    for spec in registry:
+    for spec in specs:
         print(f"=== {_describe_spec(spec)} ===")
         runs = spec.compile()
         results = run_compiled(

@@ -32,7 +32,7 @@ from ..analysis.invariants import InvariantViolation
 from ..core.params import CebinaeParams
 from ..experiments.parallel import (RunSpec, Task, fingerprint,
                                     scenario_task)
-from ..experiments.runner import Discipline, ScenarioResult
+from ..experiments.runner import BACKENDS, Discipline, ScenarioResult
 from ..experiments.scenarios import (ScalePolicy, ScenarioSpec,
                                      _require_cca)
 from ..faults.schedule import derive_seed
@@ -432,7 +432,7 @@ class CompiledRun:
 _TOP_KEYS = ("schema_version", "name", "description", "topology",
              "scenario", "parking_lot", "grid", "policy", "disciplines",
              "collect_series", "record_history", "repeats", "base_seed",
-             "faults")
+             "faults", "backend")
 
 
 @dataclass(frozen=True)
@@ -459,10 +459,20 @@ class SuiteSpec:
     repeats: int = 1
     base_seed: int = 0
     faults: Optional[FaultSpec] = None
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("suite spec name must not be empty")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"suite spec {self.name!r}: backend must be one of "
+                f"{sorted(BACKENDS)}, got {self.backend!r}")
+        if self.parking is not None and self.backend != "packet":
+            raise ValueError(
+                f"suite spec {self.name!r}: the hybrid backend models "
+                f"a single bottleneck; parking-lot topologies run "
+                f"packet-level only")
         if (self.scenario is None) == (self.parking is None):
             raise ValueError(
                 f"suite spec {self.name!r}: exactly one of 'scenario' "
@@ -564,6 +574,13 @@ class SuiteSpec:
         if "base_seed" in data:
             kwargs["base_seed"] = _expect_int(source, "base_seed",
                                               data["base_seed"])
+        if "backend" in data:
+            backend = _expect_str(source, "backend", data["backend"])
+            if backend not in BACKENDS:
+                raise _fail(source, "backend",
+                            f"expected one of {sorted(BACKENDS)}, got "
+                            f"{backend!r}")
+            kwargs["backend"] = backend
         if data.get("faults") is not None:
             try:
                 kwargs["faults"] = FaultSpec.from_dict(
@@ -608,6 +625,10 @@ class SuiteSpec:
         data["base_seed"] = self.base_seed
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.backend != "packet":
+            # Emitted only when non-default so documents written before
+            # the hybrid backend existed keep their fingerprints.
+            data["backend"] = self.backend
         return data
 
     def fingerprint(self) -> str:
@@ -660,7 +681,8 @@ class SuiteSpec:
                                 scaled=scaled, discipline=discipline,
                                 collect_series=self.collect_series,
                                 record_history=self.record_history,
-                                seed=seed, faults=self.faults)))
+                                seed=seed, faults=self.faults,
+                                backend=self.backend)))
         else:
             assert self.parking is not None
             if self.faults is not None:

@@ -1,0 +1,186 @@
+"""Batched same-timestamp execution is invisible except in speed.
+
+The batched drain (``Simulator.run`` + ``EventScheduler.pop_at``)
+coalesces trains of events sharing one timestamp into a single outer
+pop.  Its whole contract is *order equivalence*: batched and unbatched
+runs execute the identical event sequence, including ties, zero-delay
+reschedules, and cancellations — which these tests pin with a
+hypothesis replay across both scheduler backends, plus an end-to-end
+byte-identity check on a full scenario.
+"""
+
+import json
+import os
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import Discipline, run_scenario
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+from repro.netsim.engine import (CalendarScheduler, EventScheduler,
+                                 HeapScheduler, Simulator)
+
+SCHEDULERS = ("heap", "calendar")
+
+
+# --------------------------------------------------------------------------
+# pop_at semantics, per backend.
+# --------------------------------------------------------------------------
+
+class MinimalScheduler(EventScheduler):
+    """A list-based scheduler relying on the base-class pop_at."""
+
+    def __init__(self):
+        self.entries = []
+
+    def push(self, entry):
+        self.entries.append(entry)
+
+    def pop(self):
+        if not self.entries:
+            return None
+        self.entries.sort()
+        return self.entries.pop(0)
+
+    def __len__(self):
+        return len(self.entries)
+
+
+def _entry(time_ns, seq):
+    from repro.netsim.engine import Event
+    return (time_ns, seq, Event(time_ns, seq, lambda: None, ()))
+
+
+@pytest.mark.parametrize("make", [HeapScheduler, CalendarScheduler,
+                                  MinimalScheduler])
+class TestPopAt:
+    def test_hit_returns_matching_head(self, make):
+        scheduler = make()
+        scheduler.push(_entry(10, 0))
+        scheduler.push(_entry(10, 1))
+        scheduler.push(_entry(20, 2))
+        assert scheduler.pop_at(10)[1] == 0
+        assert scheduler.pop_at(10)[1] == 1
+        assert scheduler.pop_at(10) is None
+        assert len(scheduler) == 1
+
+    def test_miss_leaves_queue_intact(self, make):
+        scheduler = make()
+        scheduler.push(_entry(20, 0))
+        assert scheduler.pop_at(10) is None
+        assert len(scheduler) == 1
+        assert scheduler.pop()[0] == 20
+
+    def test_empty_returns_none(self, make):
+        assert make().pop_at(0) is None
+
+    def test_interleaves_with_pop(self, make):
+        scheduler = make()
+        for seq, time_ns in enumerate((5, 5, 7, 7, 7, 9)):
+            scheduler.push(_entry(time_ns, seq))
+        order = []
+        entry = scheduler.pop()
+        while entry is not None:
+            order.append(entry[1])
+            tied = scheduler.pop_at(entry[0])
+            while tied is not None:
+                order.append(tied[1])
+                tied = scheduler.pop_at(entry[0])
+            entry = scheduler.pop()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+
+# --------------------------------------------------------------------------
+# The REPRO_BATCH knob and constructor override.
+# --------------------------------------------------------------------------
+
+class TestBatchKnob:
+    def test_default_is_batched(self):
+        with mock.patch.dict(os.environ, clear=False):
+            os.environ.pop("REPRO_BATCH", None)
+            assert Simulator().batched
+
+    def test_env_zero_disables(self):
+        with mock.patch.dict(os.environ, {"REPRO_BATCH": "0"}):
+            assert not Simulator().batched
+
+    def test_env_one_enables(self):
+        with mock.patch.dict(os.environ, {"REPRO_BATCH": "1"}):
+            assert Simulator().batched
+
+    def test_constructor_overrides_env(self):
+        with mock.patch.dict(os.environ, {"REPRO_BATCH": "0"}):
+            assert Simulator(batch=True).batched
+        with mock.patch.dict(os.environ, {"REPRO_BATCH": "1"}):
+            assert not Simulator(batch=False).batched
+
+
+# --------------------------------------------------------------------------
+# Order equivalence: hypothesis replay.
+# --------------------------------------------------------------------------
+
+#: One seed event: a start time, a chain of follow-up delays (0 = a
+#: zero-delay reschedule joining the tail of its own train), and
+#: whether some earlier pending event gets cancelled from its callback.
+_PLANS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.lists(st.sampled_from([0, 0, 1, 7]), max_size=3),
+              st.booleans()),
+    min_size=1, max_size=24)
+
+
+def _execute(scheduler_name, batch, plan):
+    """Run one plan; the log is the observable execution order."""
+    sim = Simulator(scheduler=scheduler_name, batch=batch)
+    log = []
+    handles = []
+
+    def make_callback(tag, follow, cancels):
+        def callback():
+            log.append((sim.now_ns, tag))
+            if cancels and handles:
+                handles[tag % len(handles)].cancel()
+            for depth, delay in enumerate(follow):
+                sim.schedule(delay,
+                             make_callback((tag, depth), (), False))
+        return callback
+
+    for index, (start, follow, cancels) in enumerate(plan):
+        handles.append(sim.schedule_at(
+            start, make_callback(index, follow, cancels)))
+    sim.run()
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=_PLANS)
+def test_batched_execution_is_order_equivalent(plan):
+    reference = _execute("heap", False, plan)
+    for scheduler_name in SCHEDULERS:
+        for batch in (False, True):
+            assert _execute(scheduler_name, batch, plan) == reference
+
+
+# --------------------------------------------------------------------------
+# End to end: byte-identical ScenarioResult.
+# --------------------------------------------------------------------------
+
+def _tiny_scenario():
+    spec = ScenarioSpec(name="batch-parity", rate_bps=5e6,
+                        rtts_ms=(24.0,), buffer_mtus=16,
+                        cca_mix=(("newreno", 3),), duration_s=1.5)
+    return ScalePolicy().apply(spec)
+
+
+def test_scenario_result_identical_across_batch_modes():
+    scaled = _tiny_scenario()
+    payloads = set()
+    for scheduler_name in SCHEDULERS:
+        for batch_env in ("0", "1"):
+            with mock.patch.dict(os.environ,
+                                 {"REPRO_BATCH": batch_env,
+                                  "REPRO_SCHEDULER": scheduler_name}):
+                result = run_scenario(scaled, Discipline.CEBINAE)
+            payloads.add(json.dumps(result.to_dict(), sort_keys=True))
+    assert len(payloads) == 1

@@ -81,11 +81,41 @@ class TestTrajectory:
         for rates in trace.rates_per_step[1:]:
             assert sum(rates) <= 10 * (1 + 1e-9)
 
+    def test_reclaim_weights_split_headroom_proportionally(self):
+        """One window: the taxed flow's release lands on the claiming
+        flows in proportion to their weights, not equally."""
+        equal = taxation_trajectory([8, 1, 1], capacity=10, tau=0.1,
+                                    steps=1)
+        weighted = taxation_trajectory([8, 1, 1], capacity=10, tau=0.1,
+                                       steps=1,
+                                       reclaim_weights=[0, 3, 1])
+        gain_equal = [after - before for before, after in
+                      zip(equal.rates_per_step[0],
+                          equal.rates_per_step[1])]
+        gain_weighted = [after - before for before, after in
+                         zip(weighted.rates_per_step[0],
+                             weighted.rates_per_step[1])]
+        assert gain_equal[1] == pytest.approx(gain_equal[2])
+        assert gain_weighted[1] == pytest.approx(3 * gain_weighted[2])
+        # Conservation: the same total headroom moved either way.
+        assert sum(gain_weighted) == pytest.approx(sum(gain_equal))
+
+    def test_uniform_reclaim_weights_match_default(self):
+        default = taxation_trajectory([6, 1, 1, 1, 1], capacity=10,
+                                      tau=0.02, steps=50)
+        uniform = taxation_trajectory([6, 1, 1, 1, 1], capacity=10,
+                                      tau=0.02, steps=50,
+                                      reclaim_weights=[2, 2, 2, 2, 2])
+        assert default.rates_per_step == uniform.rates_per_step
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
             taxation_trajectory([], capacity=10)
         with pytest.raises(ValueError):
             taxation_trajectory([1.0], capacity=0)
+        with pytest.raises(ValueError):
+            taxation_trajectory([1.0, 2.0], capacity=10,
+                                reclaim_weights=[1.0])
 
     @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
            st.floats(0.005, 0.1))

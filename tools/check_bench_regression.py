@@ -1,0 +1,145 @@
+"""Gate pytest-benchmark results against a committed baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BENCH_hotpath.json \
+        benchmarks/BENCH_hotpath_baseline.json [--threshold 0.10]
+    python tools/check_bench_regression.py BENCH_hotpath.json \
+        benchmarks/BENCH_hotpath_baseline.json --update
+
+The committed baseline and a CI run come from different machines, so
+absolute medians are not comparable.  Instead each benchmark's median
+is normalised by the geometric mean over the benchmarks common to both
+files — a machine-speed factor multiplies every benchmark equally and
+cancels out of the ratio — and the gate fails when any benchmark's
+*normalised* cost grew by more than the threshold.  The trade-off is
+explicit: a change that slows every hot path by the same factor is
+invisible to this gate (nothing shifts relative to the geomean), but
+the realistic regression — one code path getting slower — moves that
+benchmark against its peers and is exactly what the ratio catches.
+
+``--update`` rewrites the baseline from the current results (run it
+locally after an intentional perf change and commit the diff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Dict, List, Optional
+
+#: Baseline document version; bump on layout changes.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Per-benchmark median seconds from either file format.
+
+    Accepts a raw pytest-benchmark JSON document (``benchmarks`` list)
+    or a baseline written by ``--update`` (``medians`` mapping).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "medians" in data:
+        version = data.get("schema_version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: baseline schema_version {version!r} is not "
+                f"{BASELINE_SCHEMA_VERSION}")
+        return {str(name): float(value)
+                for name, value in data["medians"].items()}
+    medians: Dict[str, float] = {}
+    for bench in data.get("benchmarks", ()):
+        medians[str(bench["name"])] = float(bench["stats"]["median"])
+    if not medians:
+        raise ValueError(f"{path}: no benchmarks found")
+    return medians
+
+
+def write_baseline(path: str, medians: Dict[str, float]) -> None:
+    document = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "note": "normalised-ratio baseline for "
+                "tools/check_bench_regression.py; regenerate with "
+                "--update after intentional perf changes",
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def normalised(medians: Dict[str, float],
+               names: List[str]) -> Dict[str, float]:
+    """Each median divided by the geomean over ``names``."""
+    logs = [math.log(medians[name]) for name in names
+            if medians[name] > 0]
+    if not logs:
+        raise ValueError("no positive medians to normalise against")
+    geomean = math.exp(sum(logs) / len(logs))
+    return {name: medians[name] / geomean for name in names}
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, float],
+            threshold: float) -> List[str]:
+    """Human-readable failures (empty = gate passes)."""
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        return ["no benchmarks in common between current run and "
+                "baseline"]
+    current_norm = normalised(current, common)
+    baseline_norm = normalised(baseline, common)
+    failures: List[str] = []
+    for name in common:
+        ratio = current_norm[name] / baseline_norm[name]
+        marker = "REGRESSION" if ratio > 1.0 + threshold else "ok"
+        print(f"  {name:<50} x{ratio:5.2f}  {marker}")
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: normalised cost x{ratio:.2f} exceeds "
+                f"+{threshold:.0%} threshold")
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_baseline:
+        print(f"  (baseline-only, skipped: {', '.join(only_baseline)})")
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print(f"  (new, unbaselined: {', '.join(only_current)})")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare pytest-benchmark medians against a "
+                    "committed baseline using machine-independent "
+                    "normalised ratios.")
+    parser.add_argument("current", help="pytest-benchmark JSON output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed normalised-cost growth "
+                             "(default 0.10 = +10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "results instead of comparing")
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.current)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"wrote {args.baseline} ({len(current)} benchmark(s))")
+        return 0
+    baseline = load_medians(args.baseline)
+    failures = compare(current, baseline, args.threshold)
+    if failures:
+        print(f"{len(failures)} benchmark regression(s):",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("benchmark gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
