@@ -134,6 +134,37 @@ def run_experiment(name: str, quick: bool = False,
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _cache_main(argv: List[str]) -> int:
+    """``cebinae-repro cache gc [--cache-dir DIR] [--json]``."""
+    import json
+
+    from .parallel import ResultCache
+    parser = argparse.ArgumentParser(
+        prog="cebinae-repro cache",
+        description="Maintain the on-disk result cache.  'gc' detects "
+                    "and removes corrupted, truncated, and "
+                    "foreign-schema entries (the read path treats "
+                    "them as misses, but they linger on disk forever) "
+                    "plus temp files orphaned by crashed writers, and "
+                    "reports the bytes reclaimed.")
+    parser.add_argument("action", choices=("gc",))
+    parser.add_argument("--cache-dir", default=".cebinae-cache",
+                        help="cache directory (default .cebinae-cache)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    args = parser.parse_args(argv)
+    summary = ResultCache(args.cache_dir).prune()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"cache gc {args.cache_dir}: kept {summary['kept']} "
+          f"entr(y/ies), removed {len(summary['removed'])}, "
+          f"reclaimed {summary['reclaimed_bytes']} bytes")
+    for name in summary["removed"]:
+        print(f"  removed {name}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -157,6 +188,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # golden-result conformance checking (see repro.suite).
         from ..suite.cli import main as suite_main
         return suite_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        # ``cebinae-repro sweep init|work|status|resume|merge|run``:
+        # the crash-resumable distributed sweep fabric (see
+        # repro.sweep): manifest of fingerprinted tasks, lease-claiming
+        # workers, quarantine, kill -9-safe resume.
+        from ..sweep.cli import main as sweep_main
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # ``cebinae-repro cache gc``: prune corrupted/truncated result
+        # cache entries (silent misses that linger on disk forever).
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="cebinae-repro",
         description="Reproduce the Cebinae (SIGCOMM 2022) evaluation. "
@@ -166,7 +208,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "scenario with structured event tracing on; "
                     "'cebinae-repro suite <dir>' runs a directory of "
                     "declarative scenario specs with golden-result "
-                    "conformance checking.")
+                    "conformance checking; 'cebinae-repro sweep ...' "
+                    "drives the crash-resumable distributed sweep "
+                    "fabric; 'cebinae-repro cache gc' prunes corrupt "
+                    "result-cache entries.")
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--quick", action="store_true",
                         help="short durations for smoke runs")

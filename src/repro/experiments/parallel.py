@@ -37,13 +37,16 @@ import json
 import multiprocessing
 import os
 import random
+import signal
 import sys
 import tempfile
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Callable, Dict, List, Mapping, Optional,
-                    Sequence, Union)
+from typing import (Any, Callable, Dict, Iterator, List, Mapping,
+                    Optional, Sequence, Union)
 
 from ..faults.spec import FaultSpec
 from ..faults.watchdog import RunAborted
@@ -141,6 +144,44 @@ class RunSpec:
     def fingerprint(self) -> str:
         return fingerprint("ScenarioResult", self.params())
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready payload that rebuilds this spec losslessly.
+
+        This is what the sweep-fabric manifest persists per task: a
+        worker process reconstructs the exact :class:`RunSpec` (and
+        hence the exact cache fingerprint) from the manifest alone,
+        with no Python state shared with the process that wrote it.
+        """
+        return {
+            "scaled": self.scaled.to_dict(),
+            "discipline": self.discipline.value,
+            "collect_series": self.collect_series,
+            "record_history": self.record_history,
+            "seed": self.seed,
+            "faults": None if self.faults is None
+            else self.faults.to_dict(),
+            "backend": self.backend,
+            "wall_limit_s": self.wall_limit_s,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        from .scenarios import ScaledScenario
+        faults = data.get("faults")
+        wall_limit = data.get("wall_limit_s")
+        max_events = data.get("max_events")
+        return cls(
+            scaled=ScaledScenario.from_dict(data["scaled"]),
+            discipline=Discipline(data["discipline"]),
+            collect_series=bool(data.get("collect_series", False)),
+            record_history=bool(data.get("record_history", False)),
+            seed=int(data.get("seed", 0)),
+            faults=None if faults is None else FaultSpec.from_dict(faults),
+            backend=str(data.get("backend", "packet")),
+            wall_limit_s=None if wall_limit is None else float(wall_limit),
+            max_events=None if max_events is None else int(max_events))
+
 
 @dataclass
 class FailedRun:
@@ -149,9 +190,12 @@ class FailedRun:
     Sweeps degrade gracefully: one crashing point is logged and
     recorded as a :class:`FailedRun` instead of killing the pool.
     ``timed_out`` marks watchdog/pool-timeout casualties (deterministic
-    failures, never retried), ``backoff_s`` records the delay slept
-    before each retry attempt, and ``partial`` carries whatever
-    progress snapshot an aborted run managed to produce.
+    failures, never retried), ``backoff_s`` records the delay *actually
+    slept* before each retry attempt (under an early interrupt the last
+    entry is the measured partial sleep, not the planned schedule),
+    ``interrupted`` marks a run cut short by SIGINT/SIGTERM rather than
+    its own failure, and ``partial`` carries whatever progress snapshot
+    an aborted run managed to produce.
     """
 
     label: str
@@ -160,13 +204,15 @@ class FailedRun:
     timed_out: bool = False
     backoff_s: List[float] = field(default_factory=list)
     partial: Optional[Dict[str, Any]] = None
+    interrupted: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready payload (reports persist failures with data)."""
         return {"label": self.label, "error": self.error,
                 "attempts": self.attempts, "timed_out": self.timed_out,
                 "backoff_s": list(self.backoff_s),
-                "partial": self.partial}
+                "partial": self.partial,
+                "interrupted": self.interrupted}
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FailedRun":
@@ -174,7 +220,8 @@ class FailedRun:
                    attempts=data["attempts"],
                    timed_out=data.get("timed_out", False),
                    backoff_s=list(data.get("backoff_s", [])),
-                   partial=data.get("partial"))
+                   partial=data.get("partial"),
+                   interrupted=data.get("interrupted", False))
 
 
 def require(result: Union[Any, FailedRun]) -> Any:
@@ -254,6 +301,52 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
+    def prune(self) -> Dict[str, Any]:
+        """Remove entries :meth:`load` could never return, reclaiming disk.
+
+        A corrupted, truncated, or foreign-schema entry is silently a
+        *miss* on the read path — correct, but it lingers on disk
+        forever and inflates the cache.  Pruning deletes those entries
+        (plus ``*.tmp`` droppings from stores that crashed before their
+        atomic rename) and reports what was reclaimed.  Safe alongside
+        live writers: stores are atomic (a reader sees either no entry
+        or a complete one), so only entries that were *already* broken
+        on disk can ever fail validation and be deleted.
+        """
+        removed: List[str] = []
+        reclaimed = 0
+        kept = 0
+        for path in sorted(self.directory.glob("*.json")):
+            valid = False
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                valid = (isinstance(entry, dict)
+                         and entry.get("cache_version") == CACHE_VERSION
+                         and isinstance(entry.get("payload"), dict))
+            except (OSError, ValueError):
+                valid = False
+            if valid:
+                kept += 1
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue  # Vanished underneath us; nothing to reclaim.
+            removed.append(path.name)
+            reclaimed += size
+        for path in sorted(self.directory.glob("*.tmp")):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed.append(path.name)
+            reclaimed += size
+        return {"kept": kept, "removed": removed,
+                "reclaimed_bytes": reclaimed}
+
 
 # --------------------------------------------------------------------------
 # The generic task executor.
@@ -300,6 +393,44 @@ def _print_progress(message: str) -> None:
 
 #: Indirection so tests can observe retry pacing without sleeping.
 _sleep = time.sleep
+
+
+class TerminateSweep(KeyboardInterrupt):
+    """SIGTERM, converted to an exception so the flush path runs.
+
+    Subclasses :class:`KeyboardInterrupt` deliberately: every caller
+    that already handles Ctrl-C on a sweep (flush completed results,
+    release resources, re-raise) handles cluster-style kills — CI
+    cancellation, batch timeouts, the OOM reaper's polite first pass —
+    identically, with no new except-clauses.
+    """
+
+
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Convert SIGTERM to :class:`TerminateSweep` for a with-block.
+
+    Installed only in the main thread of the main interpreter (the
+    only place Python accepts signal handlers); elsewhere this is a
+    no-op and SIGTERM keeps its default kill semantics.  The previous
+    handler is restored on exit, even on error.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum: int, frame: Any) -> None:
+        raise TerminateSweep()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:      # Non-main interpreter or exotic host.
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _backoff_delays(key: str, retries: int, base_s: float) -> List[float]:
@@ -357,9 +488,15 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
     side (a backstop for the in-run watchdog; a timed-out task becomes
     a :class:`FailedRun` with ``timed_out`` set and is never retried).
     Transient crashes back off exponentially before each retry (see
-    :func:`_backoff_delays`); a ``KeyboardInterrupt`` flushes every
-    already-completed result to the cache before re-raising, so Ctrl-C
-    on a long sweep loses only the in-flight points.
+    :func:`_backoff_delays`); a ``KeyboardInterrupt`` — or a SIGTERM,
+    which is converted to :class:`TerminateSweep` for the duration of
+    the call so cluster-style kills behave like Ctrl-C — flushes every
+    already-completed result to the cache before re-raising, so an
+    interrupted sweep loses only the in-flight points.  An interrupt
+    that lands mid-backoff records the *measured* partial sleep (not
+    the planned schedule) in a :class:`FailedRun` attached to the
+    exception as ``failed_run``, so post-mortems of killed sweeps are
+    truthful about what actually happened.
     """
     cache = None
     if cache_dir is not None:
@@ -403,77 +540,109 @@ def run_tasks(tasks: Sequence[Task], workers: Optional[int] = None,
               f"[parallel] interrupted; flushed {flushed} completed "
               f"result(s) to cache")
 
-    try:
-        if workers == 1:
-            for index in pending:
-                task = tasks[index]
-                _emit(progress, f"[parallel] start  {task.label}")
-                try:
-                    envelopes[index] = _call_task(task.fn, task.kwargs)
-                except Exception as exc:  # noqa: BLE001 - recorded below.
-                    envelopes[index] = exc
-        else:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                handles = {}
+    with _sigterm_as_interrupt():
+        try:
+            if workers == 1:
                 for index in pending:
                     task = tasks[index]
                     _emit(progress, f"[parallel] start  {task.label}")
-                    handles[index] = pool.apply_async(
-                        _call_task, (task.fn, task.kwargs))
-                for index in pending:
                     try:
-                        envelopes[index] = handles[index].get(
-                            timeout=timeout_s)
-                    except Exception as exc:  # noqa: BLE001
+                        envelopes[index] = _call_task(task.fn,
+                                                      task.kwargs)
+                    except Exception as exc:  # noqa: BLE001 - recorded below.
                         envelopes[index] = exc
-    except KeyboardInterrupt:
-        # Pool.__exit__ has already terminated the workers; keep what
-        # finished, then let the interrupt propagate.
-        flush_completed()
-        raise
+            else:
+                context = multiprocessing.get_context()
+                with context.Pool(processes=workers) as pool:
+                    handles = {}
+                    for index in pending:
+                        task = tasks[index]
+                        _emit(progress,
+                              f"[parallel] start  {task.label}")
+                        handles[index] = pool.apply_async(
+                            _call_task, (task.fn, task.kwargs))
+                    for index in pending:
+                        try:
+                            envelopes[index] = handles[index].get(
+                                timeout=timeout_s)
+                        except Exception as exc:  # noqa: BLE001
+                            envelopes[index] = exc
+        except KeyboardInterrupt:
+            # Pool.__exit__ has already terminated the workers; keep
+            # what finished, then let the interrupt propagate.
+            flush_completed()
+            raise
 
-    for index in pending:
-        task = tasks[index]
-        envelope = envelopes[index]
-        attempts = 1
-        delays = _backoff_delays(task.fingerprint or task.label,
-                                 retries, backoff_base_s)
-        slept: List[float] = []
-        while (isinstance(envelope, BaseException)
-               and attempts <= retries and not _no_retry(envelope)):
-            delay = delays[attempts - 1]
-            _emit(progress,
-                  f"[parallel] retry  {task.label} after "
-                  f"{type(envelope).__name__}: {envelope} "
-                  f"(backoff {delay * 1e3:.0f}ms)")
-            _sleep(delay)
-            slept.append(delay)
-            attempts += 1
-            try:
-                envelope = _call_task(task.fn, task.kwargs)
-            except Exception as exc:  # noqa: BLE001
-                envelope = exc
-        if isinstance(envelope, BaseException):
-            _emit(progress,
-                  f"[parallel] FAILED {task.label}: {envelope}")
-            timed_out = isinstance(envelope, multiprocessing.TimeoutError)
-            partial = None
-            if isinstance(envelope, RunAborted):
-                timed_out = True
-                partial = envelope.partial
-            results[index] = FailedRun(
-                label=task.label,
-                error=str(envelope) or type(envelope).__name__,
-                attempts=attempts, timed_out=timed_out,
-                backoff_s=slept, partial=partial)
-            continue
-        payload = task.encode(envelope["value"])
-        if cache is not None and task.fingerprint:
-            cache.store(task.fingerprint, task.kind, task.label, payload)
-        results[index] = task.decode(payload)
-        _emit(progress, f"[parallel] done   {task.label}  "
-              + _describe(results[index], envelope["elapsed_s"]))
+        try:
+            for index in pending:
+                task = tasks[index]
+                envelope = envelopes[index]
+                attempts = 1
+                delays = _backoff_delays(task.fingerprint or task.label,
+                                         retries, backoff_base_s)
+                slept: List[float] = []
+                while (isinstance(envelope, BaseException)
+                       and attempts <= retries
+                       and not _no_retry(envelope)):
+                    delay = delays[attempts - 1]
+                    _emit(progress,
+                          f"[parallel] retry  {task.label} after "
+                          f"{type(envelope).__name__}: {envelope} "
+                          f"(backoff {delay * 1e3:.0f}ms)")
+                    # Host-side retry pacing, not simulation time.
+                    started = time.monotonic()  # simlint: allow[D103] retry pacing
+                    try:
+                        _sleep(delay)
+                    except BaseException as interrupt:
+                        # Record the sleep actually slept, not the
+                        # planned schedule: a post-mortem of a killed
+                        # sweep must not claim time that never passed.
+                        slept.append(min(
+                            delay,
+                            time.monotonic() - started))  # simlint: allow[D103] retry pacing
+                        failed = FailedRun(
+                            label=task.label,
+                            error=f"interrupted during retry backoff "
+                                  f"after {type(envelope).__name__}: "
+                                  f"{envelope}",
+                            attempts=attempts, backoff_s=slept,
+                            interrupted=True)
+                        results[index] = failed
+                        setattr(interrupt, "failed_run", failed)
+                        raise
+                    slept.append(delay)
+                    attempts += 1
+                    try:
+                        envelope = _call_task(task.fn, task.kwargs)
+                    except Exception as exc:  # noqa: BLE001
+                        envelope = exc
+                if isinstance(envelope, BaseException):
+                    _emit(progress,
+                          f"[parallel] FAILED {task.label}: {envelope}")
+                    timed_out = isinstance(envelope,
+                                           multiprocessing.TimeoutError)
+                    partial = None
+                    if isinstance(envelope, RunAborted):
+                        timed_out = True
+                        partial = envelope.partial
+                    results[index] = FailedRun(
+                        label=task.label,
+                        error=str(envelope) or type(envelope).__name__,
+                        attempts=attempts, timed_out=timed_out,
+                        backoff_s=slept, partial=partial)
+                    continue
+                payload = task.encode(envelope["value"])
+                if cache is not None and task.fingerprint:
+                    cache.store(task.fingerprint, task.kind, task.label,
+                                payload)
+                results[index] = task.decode(payload)
+                _emit(progress, f"[parallel] done   {task.label}  "
+                      + _describe(results[index], envelope["elapsed_s"]))
+        except KeyboardInterrupt:
+            # Interrupted while retrying/recording: salvage everything
+            # the pool phase completed before propagating.
+            flush_completed()
+            raise
     return results
 
 

@@ -261,6 +261,30 @@ def record_hybrid(registry: MetricsRegistry, report: Any,
             report.divergence)
 
 
+#: Sweep-fabric event names accepted by :func:`record_sweep`.  One
+#: counter per event, labelled by worker: tasks completed/quarantined,
+#: lease lifecycle anomalies (expiry steals, lost heartbeats), graceful
+#: interrupts, and resume invocations.
+SWEEP_EVENTS = ("tasks_completed", "tasks_quarantined",
+                "lease_expiries", "lease_lost", "interrupts", "resumes")
+
+
+def record_sweep(registry: MetricsRegistry, event: str,
+                 worker: str = "", amount: float = 1) -> None:
+    """Fold one sweep-fabric event into ``registry``.
+
+    The fabric's counters live here (rather than inside ``repro.sweep``)
+    so every metric name across the stack is declared in one module and
+    snapshots stay schema-stable; an unknown event is a programming
+    error, not a new time series.
+    """
+    if event not in SWEEP_EVENTS:
+        raise ValueError(
+            f"unknown sweep event {event!r}; known: {list(SWEEP_EVENTS)}")
+    labels = {"worker": worker} if worker else {}
+    registry.counter(f"sweep_{event}_total", **labels).inc(amount)
+
+
 #: The active registry, consulted once per Simulator.run by the engine.
 _ACTIVE: Optional[MetricsRegistry] = None
 
@@ -297,6 +321,6 @@ def collected() -> Iterator[MetricsRegistry]:
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
     "METRICS_SCHEMA_VERSION", "MetricsRegistry", "collected", "current",
-    "disable", "enable", "load_json", "load_snapshot",
-    "record_hybrid", "record_scenario",
+    "SWEEP_EVENTS", "disable", "enable", "load_json", "load_snapshot",
+    "record_hybrid", "record_scenario", "record_sweep",
 ]

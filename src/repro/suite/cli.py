@@ -22,6 +22,7 @@ import argparse
 import dataclasses
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..experiments.runner import BACKENDS
@@ -56,6 +57,71 @@ def _describe_spec(spec: SuiteSpec) -> str:
     return "  ".join(parts)
 
 
+def _run_fabric(specs: List[SuiteSpec], args: argparse.Namespace,
+                out: Dict[str, Any]) -> int:
+    """Execute every compiled run through the sweep fabric.
+
+    Compiles all specs into one manifest under ``--fabric-dir``, runs
+    ``--workers`` lease-claiming worker processes over it (resuming
+    whatever an earlier — possibly killed — invocation already
+    finished), then loads each result back from the sweep's
+    fingerprint-keyed cache into ``out`` (``"<spec>:<label>"`` keys).
+    Returns a non-zero exit code on quarantined or missing runs.
+    """
+    from ..experiments.runner import ScenarioResult
+    from ..sweep.manifest import SweepDir, manifest_from_runs
+    from ..sweep.worker import SweepWorker, WorkerConfig
+
+    runs: List[Any] = []
+    labels: List[str] = []
+    for spec in specs:
+        for run in spec.compile():
+            runs.append(run)
+            labels.append(f"{spec.name}:{run.label}")
+    fabric_dir = args.fabric_dir or str(
+        Path(f"{args.cache_dir}.sweep")
+        / Path(args.directory).name)
+    manifest = manifest_from_runs(Path(args.directory).name, runs,
+                                  labels=labels)
+    sweep = SweepDir(fabric_dir)
+    sweep.initialise(manifest)
+    print(f"[fabric] {len(runs)} task(s) -> {fabric_dir} "
+          f"({args.workers} worker(s)); resumable via "
+          f"'cebinae-repro sweep resume {fabric_dir}'")
+    if args.workers <= 1:
+        worker = SweepWorker(
+            sweep, WorkerConfig(worker_id="suite-w0"), progress=None)
+        report = worker.run()
+        if report.interrupted:
+            return 3
+    else:
+        from ..sweep.cli import _spawn_workers
+        spawn_args = argparse.Namespace(
+            expiry_s=30.0, retries=1, poll_s=0.5)
+        code = _spawn_workers(fabric_dir, args.workers, spawn_args)
+        if code != 0:
+            return code
+    cache = sweep.cache()
+    quarantined = sweep.quarantined()
+    failures: List[str] = []
+    for run, label in zip(runs, labels):
+        payload = cache.load(run.fingerprint())
+        if payload is None:
+            record = quarantined.get(run.fingerprint(), {})
+            failed = record.get("failed", {})
+            failures.append(f"{label}: "
+                            f"{failed.get('error', 'missing result')}")
+            continue
+        out[label] = ScenarioResult.from_dict(payload)
+    if failures:
+        print(f"{len(failures)} fabric run(s) did not complete:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cebinae-repro suite",
@@ -88,10 +154,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--mismatch-out", metavar="PATH",
                         help="with --golden: also write a JSON "
                              "mismatch report to PATH (CI artifact)")
+    parser.add_argument("--fabric", action="store_true",
+                        help="execute through the crash-resumable "
+                             "sweep fabric (repro.sweep): a manifest "
+                             "+ lease-claiming workers instead of one "
+                             "process pool, resumable after any kill "
+                             "via 'cebinae-repro sweep resume'")
+    parser.add_argument("--fabric-dir", metavar="DIR",
+                        help="sweep directory for --fabric (default: "
+                             "<cache-dir>.sweep/<suite dir name>)")
     args = parser.parse_args(argv)
 
     if args.golden and args.update_golden:
         parser.error("--golden and --update-golden are exclusive")
+    if args.fabric and args.update_golden:
+        parser.error("--update-golden replays the scheduler x debug "
+                     "matrix in-process and cannot run on the fabric")
+    if args.fabric_dir and not args.fabric:
+        parser.error("--fabric-dir requires --fabric")
     if args.backend == "hybrid" and (args.golden or args.update_golden):
         # Golden digests pin the packet backend's byte-identical
         # contract; the hybrid tier is validated by tolerance, not
@@ -126,15 +206,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  wrote {path} ({len(digests)} run(s))")
         return 0
 
+    fabric_results: Dict[str, Any] = {}
+    if args.fabric:
+        code = _run_fabric(specs, args, fabric_results)
+        if code != 0:
+            return code
+
     mismatches: List[str] = []
     report: Dict[str, Any] = {}
     for spec in specs:
         print(f"=== {_describe_spec(spec)} ===")
         runs = spec.compile()
-        results = run_compiled(
-            runs, workers=args.workers,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            use_cache=not args.no_cache)
+        if args.fabric:
+            results = [fabric_results[f"{spec.name}:{run.label}"]
+                       for run in runs]
+        else:
+            results = run_compiled(
+                runs, workers=args.workers,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                use_cache=not args.no_cache)
         digests = {}
         for run, result in zip(runs, results):
             print(_format_run(run.label, result))

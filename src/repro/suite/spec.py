@@ -184,6 +184,19 @@ class ParkingLotSpec:
             raise ValueError(
                 f"{owner}: tau must be in (0, 1], got {self.tau!r}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready payload (``name`` carried separately)."""
+        return _parking_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Any]
+                  ) -> "ParkingLotSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        kwargs = dict(data)
+        kwargs["cross_mix"] = tuple(
+            (str(cca), int(count)) for cca, count in kwargs["cross_mix"])
+        return cls(name=name, **kwargs)
+
     def cebinae_params(self, policy: ScalePolicy) -> CebinaeParams:
         """Cebinae parameters for this topology under ``policy``."""
         max_rtt_s = (4 * self.access_delay_ms

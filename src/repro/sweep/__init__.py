@@ -1,0 +1,35 @@
+"""``repro.sweep``: the crash-resumable distributed sweep fabric.
+
+A *sweep* is a directory on disk that fully describes a parameter
+study and its progress — no Python state survives anywhere else:
+
+* ``manifest.json`` — the versioned, fsynced list of fingerprinted
+  tasks (:mod:`repro.sweep.manifest`), written once at init;
+* ``cache/`` — the standard fingerprint-keyed
+  :class:`~repro.experiments.parallel.ResultCache` that results stream
+  into as they finish (a task is *done* iff its entry exists);
+* ``leases/`` — per-shard claim files with heartbeat renewal and
+  expiry (:mod:`repro.sweep.lease`), so N independent worker
+  processes can share the manifest without a coordinator;
+* ``quarantine/`` — deterministic failures, parked after the retry
+  budget instead of wedging the sweep;
+* ``metrics/`` — one labelled metrics snapshot per worker.
+
+Workers (:mod:`repro.sweep.worker`, CLI ``cebinae-repro sweep work``)
+are crash-isolated: a SIGKILLed worker's shard lease expires and the
+shard is re-claimed by any survivor or a later ``sweep resume``;
+because results are keyed by the same fingerprints the single-pool
+executor uses, re-execution after a crash is idempotent and the merged
+result set is byte-identical to an uninterrupted run.
+"""
+
+from .lease import Lease, LeaseStore
+from .manifest import (MANIFEST_VERSION, ManifestTask, SweepDir,
+                       SweepManifest, manifest_from_runs)
+from .worker import SweepShutdown, SweepWorker, WorkerConfig, WorkerReport
+
+__all__ = [
+    "Lease", "LeaseStore", "MANIFEST_VERSION", "ManifestTask",
+    "SweepDir", "SweepManifest", "SweepShutdown", "SweepWorker",
+    "WorkerConfig", "WorkerReport", "manifest_from_runs",
+]

@@ -1,0 +1,348 @@
+"""``cebinae-repro sweep``: drive the crash-resumable sweep fabric.
+
+Typical lifecycle::
+
+    cebinae-repro sweep init  SWEEP --suite examples/suites/tier1
+    cebinae-repro sweep work  SWEEP &         # repeat for N workers
+    cebinae-repro sweep status SWEEP
+    # ... a worker dies, the host reboots, CI cancels the job ...
+    cebinae-repro sweep resume SWEEP --workers 4
+    cebinae-repro sweep merge SWEEP --out results.json
+
+``init`` compiles a directory of declarative suite specs into the
+fsynced manifest; ``work`` runs one worker process against it;
+``status`` reports per-shard progress computed from the sweep
+directory alone; ``resume`` breaks expired leases, counts the resume
+in the metrics, and finishes the remaining tasks with N fresh workers
+(in-process when N=1, subprocesses otherwise); ``merge`` writes the
+ordered, canonical merged result document — byte-identical regardless
+of which workers ran which tasks in which order, because every payload
+comes from the fingerprint-keyed cache.
+
+Exit codes: 0 success; 1 incomplete (pending tasks remain after
+resume, or merge found holes); 2 usage/spec errors; 3 interrupted
+(SIGTERM/SIGINT reached a worker, which released its lease and
+flushed completed results first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry, record_sweep
+from .lease import LeaseStore
+from .manifest import (ManifestError, SweepDir, SweepManifest,
+                       manifest_from_runs)
+from .worker import SweepShutdown, SweepWorker, WorkerConfig
+
+#: Exit code when a worker was stopped by SIGTERM/SIGINT.
+EXIT_INTERRUPTED = 3
+
+
+def _print(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+def _compile_suite(directory: str, backend: Optional[str],
+                   shard_size: int) -> SweepManifest:
+    """Compile every suite spec in ``directory`` into one manifest."""
+    import dataclasses
+
+    from ..suite.registry import SuiteRegistry
+    registry = SuiteRegistry.from_directory(directory)
+    runs: List[Any] = []
+    labels: List[str] = []
+    for spec in registry:
+        if backend is not None and spec.parking is None:
+            spec = dataclasses.replace(spec, backend=backend)
+        for run in spec.compile():
+            runs.append(run)
+            # Prefix with the owning spec so labels are sweep-unique.
+            labels.append(f"{spec.name}:{run.label}")
+    return manifest_from_runs(Path(directory).name, runs,
+                              shard_size=shard_size, labels=labels)
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    from ..suite.spec import SpecError
+    try:
+        manifest = _compile_suite(args.suite, args.backend,
+                                  args.shard_size)
+    except SpecError as exc:
+        _print(f"error: {exc}")
+        return 2
+    sweep = SweepDir(args.directory)
+    try:
+        sweep.initialise(manifest, force=args.force)
+    except ManifestError as exc:
+        _print(f"error: {exc}")
+        return 2
+    shards = len(manifest.shards())
+    _print(f"[sweep] initialised {args.directory}: "
+           f"{len(manifest.tasks)} task(s) in {shards} shard(s)")
+    return 0
+
+
+def _worker_config(args: argparse.Namespace) -> WorkerConfig:
+    worker_id = args.worker_id or f"w{os.getpid()}"
+    return WorkerConfig(worker_id=worker_id, expiry_s=args.expiry_s,
+                        retries=args.retries, poll_s=args.poll_s,
+                        max_tasks=args.max_tasks)
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    sweep = SweepDir(args.directory)
+    worker = SweepWorker(sweep, _worker_config(args), progress=_print)
+    try:
+        report = worker.run()
+    except ManifestError as exc:
+        _print(f"error: {exc}")
+        return 2
+    _print(f"[sweep] worker {report.worker_id}: "
+           f"{report.completed} completed, "
+           f"{report.quarantined} quarantined, "
+           f"{report.lease_expiries} expired lease(s) claimed")
+    return EXIT_INTERRUPTED if report.interrupted else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    sweep = SweepDir(args.directory)
+    try:
+        status = sweep.status()
+    except ManifestError as exc:
+        _print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(f"sweep {status['name']}: {status['total']} task(s)  "
+          f"done={counts['done']} quarantined={counts['quarantined']} "
+          f"leased={counts['leased']} pending={counts['pending']}")
+    for shard, info in status["shards"].items():
+        holder = f"  worker={info['worker']}" if info["worker"] else ""
+        print(f"  shard {shard}: {info['done']}/{info['total']} done"
+              + (f"  quarantined={info['quarantined']}"
+                 if info["quarantined"] else "") + holder)
+    for fingerprint, record in sorted(sweep.quarantined().items()):
+        failed = record.get("failed", {})
+        print(f"  quarantined {record.get('label', fingerprint)}: "
+              f"{failed.get('error', '?')} "
+              f"(attempts={failed.get('attempts', '?')})")
+    return 0
+
+
+def _spawn_workers(directory: str, count: int,
+                   args: argparse.Namespace) -> int:
+    """Run ``count`` worker subprocesses to completion."""
+    commands = []
+    for index in range(count):
+        command = [sys.executable, "-m", "repro.sweep.cli", "work",
+                   directory, "--worker-id", f"resume-w{index}",
+                   "--expiry-s", str(args.expiry_s),
+                   "--retries", str(args.retries),
+                   "--poll-s", str(args.poll_s)]
+        commands.append(command)
+    procs = [subprocess.Popen(command) for command in commands]
+    exit_code = 0
+    try:
+        for proc in procs:
+            code = proc.wait()
+            if code not in (0, EXIT_INTERRUPTED):
+                exit_code = code
+    except (KeyboardInterrupt, SweepShutdown):
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            proc.wait()
+        raise
+    return exit_code
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    sweep = SweepDir(args.directory)
+    try:
+        manifest = sweep.load_manifest()
+    except ManifestError as exc:
+        _print(f"error: {exc}")
+        return 2
+    store = LeaseStore(sweep.lease_dir, expiry_s=args.expiry_s)
+    broken = store.break_expired()
+    if broken:
+        _print(f"[sweep] broke {broken} expired lease(s)")
+    registry = MetricsRegistry()
+    record_sweep(registry, "resumes", worker="resume")
+    if broken:
+        record_sweep(registry, "lease_expiries", worker="resume",
+                     amount=broken)
+    sweep.metrics_dir.mkdir(parents=True, exist_ok=True)
+    registry.write_json(str(sweep.metrics_dir / "resume.json"))
+
+    if args.workers <= 1:
+        worker = SweepWorker(
+            sweep, WorkerConfig(worker_id="resume-w0",
+                                expiry_s=args.expiry_s,
+                                retries=args.retries,
+                                poll_s=args.poll_s),
+            progress=None if args.quiet else _print)
+        report = worker.run()
+        if report.interrupted:
+            return EXIT_INTERRUPTED
+    else:
+        code = _spawn_workers(args.directory, args.workers, args)
+        if code != 0:
+            return code
+
+    status = sweep.status()
+    counts = status["counts"]
+    _print(f"[sweep] resume finished: {counts['done']}/"
+           f"{status['total']} done, "
+           f"{counts['quarantined']} quarantined, "
+           f"{counts['pending']} pending")
+    if counts["quarantined"]:
+        for fingerprint, record in sorted(sweep.quarantined().items()):
+            failed = record.get("failed", {})
+            _print(f"[sweep]   quarantined "
+                   f"{record.get('label', fingerprint)}: "
+                   f"{failed.get('error', '?')}")
+    return 0 if counts["pending"] == 0 and counts["leased"] == 0 else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    sweep = SweepDir(args.directory)
+    try:
+        manifest = sweep.load_manifest()
+    except ManifestError as exc:
+        _print(f"error: {exc}")
+        return 2
+    cache = sweep.cache()
+    quarantined = sweep.quarantined()
+    entries: List[Dict[str, Any]] = []
+    missing = 0
+    for task in manifest.tasks:
+        entry: Dict[str, Any] = {"label": task.label,
+                                 "fingerprint": task.fingerprint}
+        payload = cache.load(task.fingerprint)
+        if payload is not None:
+            entry["status"] = "done"
+            entry["payload"] = payload
+        elif task.fingerprint in quarantined:
+            entry["status"] = "quarantined"
+            entry["failed"] = quarantined[task.fingerprint]["failed"]
+        else:
+            entry["status"] = "missing"
+            missing += 1
+        entries.append(entry)
+    document = {"sweep": manifest.name, "results": entries}
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        _print(f"[sweep] merged {len(entries)} result(s) "
+               f"({missing} missing) -> {args.out}")
+    else:
+        print(text, end="")
+    return 1 if missing else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    code = _cmd_init(args)
+    if code != 0:
+        return code
+    return _cmd_resume(args)
+
+
+def _add_worker_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--expiry-s", type=float, default=30.0,
+                        help="seconds without a heartbeat before a "
+                             "shard lease is stealable (default 30)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="per-task retry budget before a "
+                             "deterministic failure is quarantined")
+    parser.add_argument("--poll-s", type=float, default=0.5,
+                        help="idle seconds between scans when every "
+                             "runnable shard is leased elsewhere")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cebinae-repro sweep",
+        description="Crash-resumable distributed sweeps: manifest of "
+                    "fingerprinted tasks, lease-claiming workers, "
+                    "quarantine for poison tasks, kill -9-safe resume.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser(
+        "init", help="compile suite specs into a sweep manifest")
+    p_init.add_argument("directory")
+    p_init.add_argument("--suite", required=True,
+                        help="directory of declarative suite specs")
+    p_init.add_argument("--backend",
+                        help="override the simulation backend for "
+                             "dumbbell specs")
+    p_init.add_argument("--shard-size", type=int, default=1,
+                        help="tasks per lease shard (default 1)")
+    p_init.add_argument("--force", action="store_true",
+                        help="overwrite a differing existing manifest")
+    p_init.set_defaults(handler=_cmd_init)
+
+    p_work = sub.add_parser(
+        "work", help="run one worker process against a sweep")
+    p_work.add_argument("directory")
+    p_work.add_argument("--worker-id",
+                        help="stable worker name (default: w<pid>)")
+    p_work.add_argument("--max-tasks", type=int,
+                        help="stop after completing this many tasks")
+    _add_worker_options(p_work)
+    p_work.set_defaults(handler=_cmd_work)
+
+    p_status = sub.add_parser(
+        "status", help="per-shard progress from the sweep dir alone")
+    p_status.add_argument("directory")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(handler=_cmd_status)
+
+    p_resume = sub.add_parser(
+        "resume", help="break expired leases and finish the sweep")
+    p_resume.add_argument("directory")
+    p_resume.add_argument("--workers", type=int, default=1)
+    p_resume.add_argument("--quiet", action="store_true")
+    _add_worker_options(p_resume)
+    p_resume.set_defaults(handler=_cmd_resume)
+
+    p_merge = sub.add_parser(
+        "merge", help="write the ordered merged result document")
+    p_merge.add_argument("directory")
+    p_merge.add_argument("--out", help="output path (default: stdout)")
+    p_merge.set_defaults(handler=_cmd_merge)
+
+    p_run = sub.add_parser(
+        "run", help="init + resume in one command")
+    p_run.add_argument("directory")
+    p_run.add_argument("--suite", required=True)
+    p_run.add_argument("--backend")
+    p_run.add_argument("--shard-size", type=int, default=1)
+    p_run.add_argument("--force", action="store_true")
+    p_run.add_argument("--workers", type=int, default=1)
+    p_run.add_argument("--quiet", action="store_true")
+    _add_worker_options(p_run)
+    p_run.set_defaults(handler=_cmd_run)
+
+    args = parser.parse_args(argv)
+    handler = args.handler
+    try:
+        return int(handler(args))
+    except SweepShutdown:
+        return EXIT_INTERRUPTED
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Shard leases: crash-safe work claiming over a shared directory.
+
+A lease is a small JSON file ``leases/<key>.lease`` naming the worker
+that currently owns one shard of the manifest.  The protocol needs
+nothing but POSIX filesystem atomicity, so it works for N processes on
+one host today and N hosts on a shared filesystem tomorrow:
+
+* **Claim** — the worker writes a temp file (fsynced) and
+  ``os.link``\\ s it to the lease path.  ``link`` fails with
+  ``FileExistsError`` if the shard is already owned, and the lease file
+  it creates is complete by construction — a reader can never observe
+  a torn claim.
+* **Renew (heartbeat)** — the owner periodically rewrites the file via
+  atomic replace, bumping ``renewed_unix``.  Renewal re-reads the file
+  first and refuses if the nonce changed: a worker that lost its lease
+  (e.g. it froze past expiry and was stolen from) finds out on its
+  next heartbeat.
+* **Expiry / steal** — a lease is *expired* when its last heartbeat is
+  older than ``expiry_s``, or when its owning pid is provably gone on
+  this host (the post-``kill -9`` fast path).  A claimer that finds an
+  expired lease unlinks it and retries the ``link`` once.
+
+The steal path has a benign race: two claimers can, in a narrow
+window, both conclude the same lease is dead and both run the shard.
+That duplicates *work*, never *results* — tasks write to the
+fingerprint-keyed cache via atomic same-content stores, so execution
+is idempotent by construction and the fabric prefers rare duplicate
+computation over a coordinator process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Bump when the lease-file layout changes incompatibly.
+LEASE_VERSION = 1
+
+#: Default seconds without a heartbeat before a lease is stealable.
+DEFAULT_EXPIRY_S = 30.0
+
+
+def _wall_clock() -> float:
+    # Lease timestamps must be comparable across processes (and, on a
+    # shared filesystem, across hosts), which only the wall clock is.
+    # Host-side orchestration state: never flows into simulation.
+    return time.time()  # simlint: allow[D103] cross-process lease timestamps
+
+
+@dataclass
+class Lease:
+    """One claimed shard, as held by its owning worker."""
+
+    key: str
+    worker_id: str
+    nonce: str
+    path: Path
+    expiry_s: float
+    renewed_unix: float
+
+
+class LeaseStore:
+    """Claim/renew/release shard leases under one directory.
+
+    ``clock`` is injectable so expiry logic is testable without
+    sleeping; it must return wall-clock seconds.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 expiry_s: float = DEFAULT_EXPIRY_S,
+                 clock: Callable[[], float] = _wall_clock) -> None:
+        if expiry_s <= 0:
+            raise ValueError(f"expiry_s must be > 0, got {expiry_s}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.expiry_s = expiry_s
+        self._clock = clock
+        #: Leases this store stole after expiry (observability).
+        self.expired_claims = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.lease"
+
+    # -- record I/O --------------------------------------------------------
+    def read(self, key: str) -> Optional[Dict[str, Any]]:
+        """The current lease record for ``key``, or None if unclaimed."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    def _record(self, key: str, worker_id: str, nonce: str,
+                acquired: float) -> Dict[str, Any]:
+        return {"lease_version": LEASE_VERSION, "key": key,
+                "worker_id": worker_id, "nonce": nonce,
+                "pid": os.getpid(), "host": socket.gethostname(),
+                "acquired_unix": acquired,
+                "renewed_unix": self._clock(),
+                "expiry_s": self.expiry_s}
+
+    def _write(self, path: Path, record: Dict[str, Any]) -> str:
+        """Write a record to a temp file (fsynced); return its name."""
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False,
+            encoding="utf-8")
+        try:
+            with handle:
+                json.dump(record, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return handle.name
+
+    # -- expiry ------------------------------------------------------------
+    def is_expired(self, record: Dict[str, Any]) -> bool:
+        """Heartbeat too old, or owner provably dead on this host."""
+        renewed = record.get("renewed_unix")
+        expiry = record.get("expiry_s", self.expiry_s)
+        if not isinstance(renewed, (int, float)):
+            return True
+        if self._clock() - float(renewed) > float(expiry):
+            return True
+        pid = record.get("pid")
+        if (isinstance(pid, int) and pid > 0
+                and record.get("host") == socket.gethostname()):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True     # kill -9 fast path: no waiting out expiry.
+            except (PermissionError, OSError):
+                pass            # Alive (or unknowable): trust the heartbeat.
+        return False
+
+    # -- the protocol ------------------------------------------------------
+    def claim(self, key: str, worker_id: str) -> Optional[Lease]:
+        """Try to acquire ``key``; None means someone else owns it."""
+        nonce = os.urandom(8).hex()
+        now = self._clock()
+        record = self._record(key, worker_id, nonce, acquired=now)
+        path = self._path(key)
+        for attempt in range(2):
+            temp = self._write(path, record)
+            try:
+                os.link(temp, path)
+                return Lease(key=key, worker_id=worker_id, nonce=nonce,
+                             path=path, expiry_s=self.expiry_s,
+                             renewed_unix=record["renewed_unix"])
+            except FileExistsError:
+                pass
+            finally:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+            current = self.read(key)
+            if current is None:
+                continue        # Vanished (released): retry the link.
+            if attempt == 0 and self.is_expired(current):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+                self.expired_claims += 1
+                continue        # Stole it: retry the link once.
+            return None
+        return None
+
+    def renew(self, lease: Lease) -> bool:
+        """Heartbeat: True if still owned, False if the lease was lost."""
+        current = self.read(lease.key)
+        if (current is None
+                or current.get("nonce") != lease.nonce
+                or current.get("worker_id") != lease.worker_id):
+            return False
+        current["renewed_unix"] = self._clock()
+        temp = self._write(lease.path, current)
+        os.replace(temp, lease.path)
+        lease.renewed_unix = current["renewed_unix"]
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Drop the lease if (and only if) we still own it."""
+        current = self.read(lease.key)
+        if current is not None and current.get("nonce") == lease.nonce:
+            try:
+                os.unlink(lease.path)
+            except FileNotFoundError:
+                pass
+
+    # -- observation -------------------------------------------------------
+    def active(self) -> List[Dict[str, Any]]:
+        """All live (non-expired) lease records, sorted by key."""
+        out = []
+        for path in sorted(self.directory.glob("*.lease")):
+            record = self.read(path.stem)
+            if record is not None and not self.is_expired(record):
+                out.append(record)
+        return out
+
+    def break_expired(self) -> int:
+        """Unlink every expired lease; returns how many were broken."""
+        broken = 0
+        for path in sorted(self.directory.glob("*.lease")):
+            record = self.read(path.stem)
+            if record is None or self.is_expired(record):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                broken += 1
+        return broken

@@ -1,0 +1,409 @@
+"""Sweep manifests: the on-disk task list a sweep is resumed from.
+
+The manifest is the fabric's source of truth.  It is written once at
+``sweep init`` with the same hygiene as
+:meth:`~repro.experiments.parallel.ResultCache.store` (write-to-temp,
+fsync, atomic rename) and never mutated afterwards: *progress* lives
+in the result cache (done), the quarantine directory (parked), and the
+lease directory (in flight), so any process can compute the sweep's
+exact state from the directory alone — which is what ``sweep status``
+and ``sweep resume`` do after a ``kill -9``.
+
+Each task entry records its label, its cache ``fingerprint`` (shared
+with the single-pool executor, so warm figure-sweep caches satisfy
+sweep tasks and vice versa), its shard assignment, and a ``source``
+document from which a worker process rebuilds the executable
+:class:`~repro.experiments.parallel.Task`:
+
+``{"type": "runspec", ...}``
+    A dumbbell scenario point: a full
+    :meth:`~repro.experiments.parallel.RunSpec.to_dict` payload.
+``{"type": "parking", ...}``
+    A parking-lot point: the
+    :class:`~repro.suite.spec.ParkingLotSpec` payload plus discipline,
+    seed, and resolved Cebinae parameters.
+``{"type": "callable", "fn": "pkg.mod:name", "kwargs": {...}}``
+    A generic deterministic function of JSON-able kwargs returning a
+    JSON-able value — the escape hatch the chaos tests and non-scenario
+    sweeps (e.g. heavy-hitter trials) use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..experiments.parallel import (CACHE_VERSION, FailedRun, ResultCache,
+                                    RunSpec, Task, scenario_task)
+from ..experiments.runner import ScenarioResult
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+#: Source documents a manifest task may carry.
+SOURCE_TYPES = ("runspec", "parking", "callable")
+
+
+class ManifestError(ValueError):
+    """A manifest document failed validation or could not be loaded."""
+
+
+def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
+    """Write-to-temp + fsync + rename, the repo's torn-write hygiene."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=path.parent, suffix=".tmp", delete=False,
+        encoding="utf-8")
+    try:
+        with handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def resolve_callable(spec: str) -> Callable[..., Any]:
+    """Import ``"pkg.mod:qualname"`` back into the function object."""
+    module_name, _, qualname = spec.partition(":")
+    if not module_name or not qualname:
+        raise ManifestError(
+            f"callable spec {spec!r} must look like 'pkg.mod:name'")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ManifestError(f"{spec!r} resolved to non-callable {obj!r}")
+    return obj
+
+
+def _identity(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return payload
+
+
+@dataclass(frozen=True)
+class ManifestTask:
+    """One fingerprinted unit of sweep work."""
+
+    index: int
+    label: str
+    fingerprint: str
+    shard: int
+    kind: str
+    source: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "label": self.label,
+                "fingerprint": self.fingerprint, "shard": self.shard,
+                "kind": self.kind, "source": self.source}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ManifestTask":
+        source = data["source"]
+        if source.get("type") not in SOURCE_TYPES:
+            raise ManifestError(
+                f"task {data.get('label')!r}: unknown source type "
+                f"{source.get('type')!r}; known: {list(SOURCE_TYPES)}")
+        return cls(index=int(data["index"]), label=str(data["label"]),
+                   fingerprint=str(data["fingerprint"]),
+                   shard=int(data["shard"]), kind=str(data["kind"]),
+                   source=dict(source))
+
+    def task(self) -> Task:
+        """Rebuild the executable pool task from the source document."""
+        kind = self.source["type"]
+        if kind == "runspec":
+            task = scenario_task(RunSpec.from_dict(
+                self.source["runspec"]))
+            return dataclasses.replace(task, label=self.label)
+        if kind == "parking":
+            from ..suite.parking import run_parking_lot
+            return Task(
+                fn=run_parking_lot,
+                kwargs={"spec": self._parking_spec(),
+                        "discipline_name": self.source["discipline"],
+                        "seed": self.source["seed"],
+                        "cebinae": self._cebinae_params(),
+                        "collect_series": self.source["collect_series"]},
+                label=self.label, fingerprint=self.fingerprint,
+                kind="ScenarioResult",
+                encode=ScenarioResult.to_dict,
+                decode=ScenarioResult.from_dict)
+        assert kind == "callable"
+        return Task(fn=resolve_callable(self.source["fn"]),
+                    kwargs=dict(self.source.get("kwargs", {})),
+                    label=self.label, fingerprint=self.fingerprint,
+                    kind=self.kind, encode=_identity, decode=_identity)
+
+    def _parking_spec(self) -> Any:
+        from ..suite.spec import ParkingLotSpec
+        return ParkingLotSpec.from_dict(self.source["parking_name"],
+                                        self.source["parking_lot"])
+
+    def _cebinae_params(self) -> Any:
+        from ..core.params import CebinaeParams
+        return CebinaeParams.from_dict(self.source["cebinae"])
+
+
+@dataclass
+class SweepManifest:
+    """The immutable task list of one sweep."""
+
+    name: str
+    tasks: List[ManifestTask] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"manifest_version": MANIFEST_VERSION,
+                "cache_version": CACHE_VERSION,
+                "name": self.name,
+                "tasks": [task.to_dict() for task in self.tasks]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepManifest":
+        version = data.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ManifestError(
+                f"manifest_version {version!r} is not "
+                f"{MANIFEST_VERSION}; re-init the sweep")
+        if data.get("cache_version") != CACHE_VERSION:
+            raise ManifestError(
+                f"manifest was built for cache_version "
+                f"{data.get('cache_version')!r}, this build uses "
+                f"{CACHE_VERSION}; its fingerprints would never match "
+                f"— re-init the sweep")
+        tasks = [ManifestTask.from_dict(entry)
+                 for entry in data.get("tasks", [])]
+        labels = [task.label for task in tasks]
+        if len(set(labels)) != len(labels):
+            raise ManifestError("manifest task labels collide")
+        return cls(name=str(data.get("name", "sweep")), tasks=tasks)
+
+    def shards(self) -> Dict[int, List[ManifestTask]]:
+        """Shard id → its tasks, in manifest order."""
+        out: Dict[int, List[ManifestTask]] = {}
+        for task in self.tasks:
+            out.setdefault(task.shard, []).append(task)
+        return out
+
+
+def manifest_from_runs(name: str, runs: Iterable[Any],
+                       shard_size: int = 1,
+                       labels: Optional[List[str]] = None
+                       ) -> SweepManifest:
+    """Compile suite :class:`~repro.suite.spec.CompiledRun`s to a manifest.
+
+    ``shard_size`` groups consecutive tasks under one lease: larger
+    shards amortise claim traffic for huge sweeps, smaller shards give
+    finer crash granularity.  ``labels`` overrides the per-run labels
+    (the suite CLI prefixes them with the owning spec's name so runs
+    from different specs cannot collide).
+    """
+    if shard_size < 1:
+        raise ManifestError(f"shard_size must be >= 1, got {shard_size}")
+    tasks: List[ManifestTask] = []
+    for index, run in enumerate(runs):
+        label = labels[index] if labels is not None else run.label
+        shard = index // shard_size
+        if getattr(run, "runspec", None) is not None:
+            source: Dict[str, Any] = {
+                "type": "runspec",
+                "runspec": run.runspec.to_dict()}
+            fingerprint = run.runspec.fingerprint()
+        else:
+            parking = run.parking
+            spec, discipline, seed, params, collect_series = parking
+            source = {"type": "parking",
+                      "parking_name": spec.name,
+                      "parking_lot": spec.to_dict(),
+                      "discipline": discipline.value,
+                      "seed": seed,
+                      "cebinae": params.to_dict(),
+                      "collect_series": collect_series}
+            fingerprint = run.fingerprint()
+        tasks.append(ManifestTask(
+            index=index, label=label, fingerprint=fingerprint,
+            shard=shard, kind="ScenarioResult", source=source))
+    return SweepManifest(name=name, tasks=tasks)
+
+
+def manifest_from_callables(name: str,
+                            entries: Iterable[Dict[str, Any]],
+                            shard_size: int = 1) -> SweepManifest:
+    """A manifest of generic ``pkg.mod:fn`` tasks.
+
+    Each entry needs ``label``, ``fn``, and ``kwargs``; the fingerprint
+    is derived from them with the executor's canonical scheme so equal
+    entries dedup across sweeps exactly like scenario points do.
+    """
+    from ..experiments.parallel import fingerprint as _fingerprint
+    if shard_size < 1:
+        raise ManifestError(f"shard_size must be >= 1, got {shard_size}")
+    tasks: List[ManifestTask] = []
+    for index, entry in enumerate(entries):
+        kwargs = dict(entry.get("kwargs", {}))
+        tasks.append(ManifestTask(
+            index=index, label=str(entry["label"]),
+            fingerprint=_fingerprint(
+                "callable", {"fn": entry["fn"], "kwargs": kwargs}),
+            shard=index // shard_size, kind="callable",
+            source={"type": "callable", "fn": str(entry["fn"]),
+                    "kwargs": kwargs}))
+    return SweepManifest(name=name, tasks=tasks)
+
+
+# --------------------------------------------------------------------------
+# The sweep directory: manifest + cache + leases + quarantine + metrics.
+# --------------------------------------------------------------------------
+
+class SweepDir:
+    """Filesystem layout and derived state of one sweep directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths -------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def lease_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
+    def metrics_dir(self) -> Path:
+        return self.root / "metrics"
+
+    # -- lifecycle ---------------------------------------------------------
+    def initialise(self, manifest: SweepManifest,
+                   force: bool = False) -> None:
+        """Create the directory tree and persist the manifest.
+
+        Re-initialising over an existing manifest is refused unless the
+        task lists agree (same labels and fingerprints) — progress made
+        under the old manifest would otherwise be silently misread.
+        ``force`` overwrites regardless.
+        """
+        if self.manifest_path.exists() and not force:
+            existing = self.load_manifest()
+            ours = [(t.label, t.fingerprint) for t in manifest.tasks]
+            theirs = [(t.label, t.fingerprint) for t in existing.tasks]
+            if ours != theirs:
+                raise ManifestError(
+                    f"{self.manifest_path} already holds a different "
+                    f"manifest ({len(theirs)} task(s)); pass --force "
+                    f"to overwrite or point at a fresh directory")
+        for directory in (self.root, self.cache_dir, self.lease_dir,
+                          self.quarantine_dir, self.metrics_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.manifest_path, manifest.to_dict())
+
+    def load_manifest(self) -> SweepManifest:
+        try:
+            with open(self.manifest_path, "r",
+                      encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise ManifestError(
+                f"no manifest at {self.manifest_path}; run "
+                f"'cebinae-repro sweep init' first") from None
+        except ValueError as exc:
+            raise ManifestError(
+                f"{self.manifest_path}: corrupt manifest: {exc}"
+                ) from exc
+        return SweepManifest.from_dict(data)
+
+    def cache(self) -> ResultCache:
+        return ResultCache(self.cache_dir)
+
+    # -- derived task state ------------------------------------------------
+    def is_done(self, fingerprint: str) -> bool:
+        """Done == the atomic cache entry exists (complete by construction)."""
+        return (self.cache_dir / f"{fingerprint}.json").exists()
+
+    def quarantine_path(self, fingerprint: str) -> Path:
+        return self.quarantine_dir / f"{fingerprint}.json"
+
+    def is_quarantined(self, fingerprint: str) -> bool:
+        return self.quarantine_path(fingerprint).exists()
+
+    def quarantine(self, task: ManifestTask, failed: FailedRun,
+                   worker_id: str) -> None:
+        """Park a deterministic failure (atomic, idempotent)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.quarantine_path(task.fingerprint), {
+            "quarantine_version": 1,
+            "label": task.label,
+            "fingerprint": task.fingerprint,
+            "worker_id": worker_id,
+            "failed": failed.to_dict()})
+
+    def quarantined(self) -> Dict[str, Dict[str, Any]]:
+        """Fingerprint → quarantine record, unreadable entries skipped."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    out[path.stem] = json.load(handle)
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def status(self) -> Dict[str, Any]:
+        """The sweep's full progress, computed from the directory alone."""
+        from .lease import LeaseStore
+        manifest = self.load_manifest()
+        store = LeaseStore(self.lease_dir)
+        leased = {record["key"]: record for record in store.active()}
+        shards: Dict[int, Dict[str, Any]] = {}
+        counts = {"done": 0, "quarantined": 0, "leased": 0,
+                  "pending": 0}
+        for task in manifest.tasks:
+            if self.is_done(task.fingerprint):
+                state = "done"
+            elif self.is_quarantined(task.fingerprint):
+                state = "quarantined"
+            elif _shard_key(task.shard) in leased:
+                state = "leased"
+            else:
+                state = "pending"
+            counts[state] += 1
+            shard = shards.setdefault(task.shard, {
+                "total": 0, "done": 0, "quarantined": 0,
+                "worker": None})
+            shard["total"] += 1
+            if state in ("done", "quarantined"):
+                shard[state] += 1
+            record = leased.get(_shard_key(task.shard))
+            if record is not None:
+                shard["worker"] = record.get("worker_id")
+        return {"name": manifest.name,
+                "total": len(manifest.tasks),
+                "counts": counts,
+                "shards": {str(k): v for k, v in sorted(shards.items())},
+                "leases": sorted(leased)}
+
+
+def _shard_key(shard: int) -> str:
+    """The lease key for one shard."""
+    return f"shard-{shard:05d}"

@@ -1,0 +1,328 @@
+"""The sweep worker: claim shards, run tasks, stream results, survive.
+
+A worker is one independent process (``cebinae-repro sweep work
+<dir>``) holding no sweep state beyond its current lease.  Its loop:
+
+1. scan the manifest for a shard that still has runnable tasks
+   (not done, not quarantined) and try to claim its lease;
+2. run the shard's tasks serially in-process, storing each result into
+   the sweep's :class:`~repro.experiments.parallel.ResultCache` the
+   moment it finishes (streaming: a crash loses at most the in-flight
+   task), heartbeating the lease from a background thread;
+3. retry transient failures with the executor's deterministic seeded
+   backoff, recording the delays *actually slept*; after the retry
+   budget — or immediately for deterministic casualties
+   (:func:`~repro.experiments.parallel._no_retry`) — **quarantine**
+   the task instead of wedging the shard;
+4. release the lease and move on; exit when a full scan finds no
+   runnable task anywhere.
+
+SIGTERM and SIGINT raise :class:`SweepShutdown` at the next bytecode
+boundary: the worker releases its lease (so the shard is instantly
+re-claimable, no expiry wait), writes its metrics snapshot, and exits
+— every already-completed result is on disk already.  SIGKILL skips
+all of that by definition, which is exactly what lease expiry (plus
+the dead-pid fast path) exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..experiments.parallel import (FailedRun, _backoff_delays,
+                                    _call_task, _no_retry)
+from ..faults.watchdog import RunAborted
+from ..obs.metrics import MetricsRegistry, record_sweep
+from .lease import Lease, LeaseStore
+from .manifest import ManifestTask, SweepDir, _shard_key
+
+#: How many times per expiry window the heartbeat renews.
+HEARTBEAT_FRACTION = 4.0
+
+
+class SweepShutdown(BaseException):
+    """Graceful stop requested by SIGTERM/SIGINT.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so no library
+    except-clause between the signal and the worker loop can swallow
+    the shutdown.
+    """
+
+
+@dataclass
+class WorkerConfig:
+    """Tunables of one worker process."""
+
+    worker_id: str
+    expiry_s: float = 30.0
+    retries: int = 1
+    backoff_base_s: float = 0.05
+    #: Seconds to idle between scans when every runnable shard is
+    #: leased by someone else.
+    poll_s: float = 0.5
+    #: Stop after completing this many tasks (None = run to the end);
+    #: the chaos tests use it to park workers at exact progress points.
+    max_tasks: Optional[int] = None
+    install_signal_handlers: bool = True
+    heartbeat: bool = True
+
+
+@dataclass
+class WorkerReport:
+    """What one worker run accomplished (JSON-able)."""
+
+    worker_id: str
+    completed: int = 0
+    quarantined: int = 0
+    lease_expiries: int = 0
+    lease_lost: int = 0
+    interrupted: bool = False
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"worker_id": self.worker_id,
+                "completed": self.completed,
+                "quarantined": self.quarantined,
+                "lease_expiries": self.lease_expiries,
+                "lease_lost": self.lease_lost,
+                "interrupted": self.interrupted,
+                "failures": list(self.failures)}
+
+
+class _Heartbeat:
+    """Background lease renewal while a shard's tasks run."""
+
+    def __init__(self, store: LeaseStore, lease: Lease,
+                 interval_s: float) -> None:
+        self._store = store
+        self._lease = lease
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if not self._store.renew(self._lease):
+                self.lost = True
+                return
+
+
+class SweepWorker:
+    """One worker process's claim-run-stream loop."""
+
+    def __init__(self, sweep: SweepDir, config: WorkerConfig,
+                 progress: Optional[Callable[[str], None]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.sweep = sweep
+        self.config = config
+        self.progress = progress
+        self.registry = registry or MetricsRegistry()
+        self._stop_requested = False
+
+    # -- plumbing ----------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[{self.config.worker_id}] {message}")
+
+    def _count(self, event: str, amount: float = 1) -> None:
+        record_sweep(self.registry, event,
+                     worker=self.config.worker_id, amount=amount)
+
+    def _write_metrics(self) -> None:
+        try:
+            self.sweep.metrics_dir.mkdir(parents=True, exist_ok=True)
+            self.registry.write_json(str(
+                self.sweep.metrics_dir
+                / f"{self.config.worker_id}.json"))
+        except OSError:
+            pass    # Metrics are best-effort; never fail the sweep.
+
+    def _raise_shutdown(self, signum: int, frame: Any) -> None:
+        self._stop_requested = True
+        raise SweepShutdown(signal.Signals(signum).name)
+
+    # -- the loop ----------------------------------------------------------
+    def run(self) -> WorkerReport:
+        """Work until nothing runnable remains (or a signal stops us)."""
+        report = WorkerReport(worker_id=self.config.worker_id)
+        manifest = self.sweep.load_manifest()
+        store = LeaseStore(self.sweep.lease_dir,
+                           expiry_s=self.config.expiry_s)
+        cache = self.sweep.cache()
+        previous: Dict[int, Any] = {}
+        if (self.config.install_signal_handlers
+                and threading.current_thread()
+                is threading.main_thread()):
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(
+                    signum, self._raise_shutdown)
+        try:
+            self._loop(manifest.shards(), store, cache, report)
+        except SweepShutdown as exc:
+            report.interrupted = True
+            self._emit(f"shutdown ({exc}): lease released, "
+                       f"{report.completed} completed result(s) "
+                       f"already flushed")
+            self._count("interrupts")
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            report.lease_expiries = store.expired_claims
+            if store.expired_claims:
+                self._count("lease_expiries", store.expired_claims)
+            self.registry.gauge(
+                "sweep_worker_completed",
+                worker=self.config.worker_id).set(report.completed)
+            self._write_metrics()
+        return report
+
+    def _runnable(self, tasks: List[ManifestTask]) -> List[ManifestTask]:
+        return [task for task in tasks
+                if not self.sweep.is_done(task.fingerprint)
+                and not self.sweep.is_quarantined(task.fingerprint)]
+
+    def _loop(self, shards: Dict[int, List[ManifestTask]],
+              store: LeaseStore, cache: Any,
+              report: WorkerReport) -> None:
+        while True:
+            claimed_any = False
+            remaining = 0
+            for shard, tasks in sorted(shards.items()):
+                runnable = self._runnable(tasks)
+                if not runnable:
+                    continue
+                remaining += len(runnable)
+                lease = store.claim(_shard_key(shard),
+                                    self.config.worker_id)
+                if lease is None:
+                    continue
+                claimed_any = True
+                try:
+                    self._run_shard(shard, runnable, store, lease,
+                                    cache, report)
+                finally:
+                    store.release(lease)
+                if (self.config.max_tasks is not None
+                        and report.completed >= self.config.max_tasks):
+                    self._emit(f"max-tasks budget "
+                               f"({self.config.max_tasks}) reached")
+                    return
+            if remaining == 0:
+                return
+            if not claimed_any:
+                # Everything runnable is leased elsewhere: idle one
+                # poll interval, then rescan (their leases may expire).
+                time.sleep(self.config.poll_s)
+
+    def _run_shard(self, shard: int, tasks: List[ManifestTask],
+                   store: LeaseStore, lease: Lease, cache: Any,
+                   report: WorkerReport) -> None:
+        self._emit(f"claimed {_shard_key(shard)} "
+                   f"({len(tasks)} runnable task(s))")
+        interval = lease.expiry_s / HEARTBEAT_FRACTION
+        heartbeat: Any
+        if self.config.heartbeat:
+            heartbeat = _Heartbeat(store, lease, interval)
+        else:
+            from contextlib import nullcontext
+            heartbeat = nullcontext()
+        with heartbeat:
+            for task in tasks:
+                if self.sweep.is_done(task.fingerprint):
+                    continue    # A twin finished it while we held on.
+                if getattr(heartbeat, "lost", False):
+                    # Our lease was stolen (we must have stalled past
+                    # expiry).  Finishing the current task was safe —
+                    # results are idempotent — but racing the new
+                    # owner through the rest of the shard is waste.
+                    report.lease_lost += 1
+                    self._count("lease_lost")
+                    self._emit(f"lost lease on {_shard_key(shard)}; "
+                               f"abandoning the shard")
+                    return
+                self._run_task(task, cache, report)
+                if (self.config.max_tasks is not None
+                        and report.completed >= self.config.max_tasks):
+                    return
+
+    def _run_task(self, mtask: ManifestTask, cache: Any,
+                  report: WorkerReport) -> None:
+        task = mtask.task()
+        delays = _backoff_delays(mtask.fingerprint or task.label,
+                                 self.config.retries,
+                                 self.config.backoff_base_s)
+        attempts = 0
+        slept: List[float] = []
+        self._emit(f"start  {task.label}")
+        while True:
+            attempts += 1
+            try:
+                envelope = _call_task(task.fn, task.kwargs)
+            except SweepShutdown:
+                raise
+            except Exception as exc:  # noqa: BLE001 - triaged below.
+                if _no_retry(exc) or attempts > self.config.retries:
+                    self._quarantine(mtask, exc, attempts, slept,
+                                     report)
+                    return
+                delay = delays[attempts - 1]
+                self._emit(f"retry  {task.label} after "
+                           f"{type(exc).__name__}: {exc} "
+                           f"(backoff {delay * 1e3:.0f}ms)")
+                # Record what was actually slept: an interrupt mid-
+                # backoff must leave a truthful trail, not the plan.
+                started = time.monotonic()  # simlint: allow[D103] retry pacing
+                try:
+                    time.sleep(delay)
+                except BaseException:
+                    slept.append(min(
+                        delay,
+                        time.monotonic() - started))  # simlint: allow[D103] retry pacing
+                    raise
+                slept.append(delay)
+                continue
+            cache.store(mtask.fingerprint, task.kind, task.label,
+                        task.encode(envelope["value"]))
+            report.completed += 1
+            self._count("tasks_completed")
+            self.registry.histogram(
+                "sweep_task_wall_seconds",
+                worker=self.config.worker_id).observe(
+                    envelope["elapsed_s"])
+            self._emit(f"done   {task.label}  "
+                       f"wall {envelope['elapsed_s']:.2f}s")
+            return
+
+    def _quarantine(self, mtask: ManifestTask, exc: Exception,
+                    attempts: int, slept: List[float],
+                    report: WorkerReport) -> None:
+        timed_out = False
+        partial = None
+        if isinstance(exc, RunAborted):
+            timed_out = True
+            partial = exc.partial
+        failed = FailedRun(
+            label=mtask.label,
+            error=str(exc) or type(exc).__name__,
+            attempts=attempts, timed_out=timed_out,
+            backoff_s=slept, partial=partial)
+        self.sweep.quarantine(mtask, failed, self.config.worker_id)
+        report.quarantined += 1
+        report.failures.append(failed.to_dict())
+        self._count("tasks_quarantined")
+        self._emit(f"QUARANTINED {mtask.label} after {attempts} "
+                   f"attempt(s): {exc}")

@@ -1,0 +1,459 @@
+"""The crash-resumable sweep fabric: manifests, leases, workers, CLIs.
+
+Covers the fabric contract piece by piece: manifest round-trips
+rebuild the exact tasks (and fingerprints) from JSON alone, the lease
+protocol hands each shard to exactly one live worker and recycles
+leases whose owner stalled or died, the worker streams results /
+retries transients / quarantines poison tasks, and the ``sweep`` and
+``cache gc`` CLIs report state computed from the directory alone.
+The end-to-end kill -9 drills live in ``test_sweep_resume.py``.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+import repro.experiments.parallel as parallel
+from repro.experiments.parallel import (FailedRun, ResultCache, RunSpec,
+                                        Task, TerminateSweep, run_tasks)
+from repro.experiments.runner import Discipline
+from repro.experiments.scenarios import ScalePolicy, ScenarioSpec
+from repro.sweep.lease import LeaseStore
+from repro.sweep.manifest import (ManifestError, SweepDir, SweepManifest,
+                                  manifest_from_callables,
+                                  manifest_from_runs)
+from repro.sweep.worker import SweepWorker, WorkerConfig
+
+TINY_POLICY = ScalePolicy(target_rate_bps=5e6, max_rate_bps=5e6)
+
+
+def tiny_scaled(name="sweep", duration_s=2.0):
+    spec = ScenarioSpec(name=name, rate_bps=100e6, rtts_ms=(20, 30),
+                        buffer_mtus=60,
+                        cca_mix=(("newreno", 1), ("newreno", 1)),
+                        duration_s=duration_s)
+    return TINY_POLICY.apply(spec)
+
+
+def callable_manifest(name="demo", count=4, shard_size=1, rounds=5):
+    return manifest_from_callables(name, [
+        {"label": f"task-{i}",
+         "fn": "repro.sweep.tasks:checksum",
+         "kwargs": {"label": f"task-{i}", "seed": i, "rounds": rounds}}
+        for i in range(count)], shard_size=shard_size)
+
+
+class TestRunSpecRoundTrip:
+    def test_runspec_rebuilds_identical_fingerprint(self):
+        spec = RunSpec(tiny_scaled(), Discipline.CEBINAE,
+                       record_history=True, collect_series=True)
+        rebuilt = RunSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.fingerprint() == spec.fingerprint()
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_scaled_scenario_round_trip(self):
+        scaled = tiny_scaled()
+        rebuilt = type(scaled).from_dict(
+            json.loads(json.dumps(scaled.to_dict())))
+        assert rebuilt == scaled
+
+
+class TestManifest:
+    def test_round_trip_and_shards(self):
+        manifest = callable_manifest(count=5, shard_size=2)
+        rebuilt = SweepManifest.from_dict(
+            json.loads(json.dumps(manifest.to_dict())))
+        assert [t.to_dict() for t in rebuilt.tasks] == \
+            [t.to_dict() for t in manifest.tasks]
+        shards = rebuilt.shards()
+        assert sorted(shards) == [0, 1, 2]
+        assert [len(v) for _, v in sorted(shards.items())] == [2, 2, 1]
+
+    def test_callable_task_rebuilds_and_runs(self):
+        manifest = callable_manifest(count=1)
+        task = manifest.tasks[0].task()
+        value = task.fn(**task.kwargs)
+        assert value["label"] == "task-0"
+        assert len(value["digest"]) == 64
+
+    def test_runspec_manifest_preserves_fingerprints(self):
+        runs = [RunSpec(tiny_scaled(), Discipline.FIFO),
+                RunSpec(tiny_scaled(), Discipline.CEBINAE)]
+
+        class _Run:
+            def __init__(self, runspec):
+                self.runspec = runspec
+                self.label = runspec.label
+
+            def fingerprint(self):
+                return self.runspec.fingerprint()
+
+        manifest = manifest_from_runs("fp", [_Run(r) for r in runs])
+        for entry, spec in zip(manifest.tasks, runs):
+            assert entry.fingerprint == spec.fingerprint()
+            rebuilt = entry.task()
+            assert rebuilt.fingerprint == spec.fingerprint()
+
+    def test_wrong_version_refused(self):
+        data = callable_manifest().to_dict()
+        data["manifest_version"] = 99
+        with pytest.raises(ManifestError, match="manifest_version"):
+            SweepManifest.from_dict(data)
+        data = callable_manifest().to_dict()
+        data["cache_version"] = 99
+        with pytest.raises(ManifestError, match="cache_version"):
+            SweepManifest.from_dict(data)
+
+    def test_label_collision_refused(self):
+        data = callable_manifest(count=2).to_dict()
+        data["tasks"][1]["label"] = data["tasks"][0]["label"]
+        with pytest.raises(ManifestError, match="collide"):
+            SweepManifest.from_dict(data)
+
+    def test_reinit_refuses_differing_manifest(self, tmp_path):
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(callable_manifest(count=2))
+        sweep.initialise(callable_manifest(count=2))   # Same: fine.
+        with pytest.raises(ManifestError, match="--force"):
+            sweep.initialise(callable_manifest(count=3))
+        sweep.initialise(callable_manifest(count=3), force=True)
+        assert len(sweep.load_manifest().tasks) == 3
+
+
+class TestLeaseStore:
+    def test_claim_conflict_release(self, tmp_path):
+        store = LeaseStore(tmp_path, expiry_s=30.0)
+        lease = store.claim("shard-00000", "alice")
+        assert lease is not None
+        assert store.claim("shard-00000", "bob") is None
+        assert store.claim("shard-00001", "bob") is not None
+        store.release(lease)
+        assert store.claim("shard-00000", "bob") is not None
+
+    def test_renew_bumps_heartbeat_and_detects_loss(self, tmp_path):
+        now = [1000.0]
+        store = LeaseStore(tmp_path, expiry_s=10.0, clock=lambda: now[0])
+        lease = store.claim("shard-00000", "alice")
+        now[0] += 5.0
+        assert store.renew(lease)
+        assert store.read("shard-00000")["renewed_unix"] == 1005.0
+        # Steal out from under alice: her next renewal must fail.
+        os.unlink(lease.path)
+        thief = store.claim("shard-00000", "bob")
+        assert thief is not None
+        assert not store.renew(lease)
+        # And her release must not drop bob's lease.
+        store.release(lease)
+        assert store.read("shard-00000")["worker_id"] == "bob"
+
+    def test_stale_heartbeat_is_stealable(self, tmp_path):
+        now = [1000.0]
+        store = LeaseStore(tmp_path, expiry_s=10.0, clock=lambda: now[0])
+        first = store.claim("shard-00000", "alice")
+        assert first is not None
+        now[0] += 10.5
+        stolen = store.claim("shard-00000", "bob")
+        assert stolen is not None
+        assert store.expired_claims == 1
+        assert store.read("shard-00000")["worker_id"] == "bob"
+
+    def test_dead_pid_fast_path(self, tmp_path):
+        store = LeaseStore(tmp_path, expiry_s=3600.0)
+        lease = store.claim("shard-00000", "ghost")
+        record = store.read("shard-00000")
+        # Rewrite the lease as if a since-killed pid owned it.  Find a
+        # free pid by probing; pid 2**22 is above kernel defaults.
+        record["pid"] = 2 ** 22 - 1
+        with open(lease.path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        assert store.is_expired(record)
+        assert store.claim("shard-00000", "bob") is not None
+
+    def test_break_expired(self, tmp_path):
+        now = [1000.0]
+        store = LeaseStore(tmp_path, expiry_s=10.0, clock=lambda: now[0])
+        store.claim("shard-00000", "alice")
+        store.claim("shard-00001", "alice")
+        assert store.break_expired() == 0
+        now[0] += 11.0
+        assert store.break_expired() == 2
+        assert store.active() == []
+
+
+class TestWorker:
+    def run_worker(self, sweep, **config):
+        config.setdefault("worker_id", "test-w0")
+        config.setdefault("install_signal_handlers", False)
+        config.setdefault("heartbeat", False)
+        worker = SweepWorker(sweep, WorkerConfig(**config))
+        return worker.run()
+
+    def test_completes_manifest_and_streams_results(self, tmp_path):
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(callable_manifest(count=4, shard_size=2))
+        report = self.run_worker(sweep)
+        assert report.completed == 4
+        assert report.quarantined == 0
+        cache = sweep.cache()
+        for task in sweep.load_manifest().tasks:
+            payload = cache.load(task.fingerprint)
+            assert payload["label"] == task.label
+        # Leases all released; metrics snapshot written.
+        assert list(sweep.lease_dir.glob("*.lease")) == []
+        assert (sweep.metrics_dir / "test-w0.json").exists()
+
+    def test_rerun_is_idempotent(self, tmp_path):
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(callable_manifest(count=3))
+        assert self.run_worker(sweep).completed == 3
+        before = {p.name: p.read_bytes()
+                  for p in sweep.cache_dir.glob("*.json")}
+        again = self.run_worker(sweep, worker_id="test-w1")
+        assert again.completed == 0
+        after = {p.name: p.read_bytes()
+                 for p in sweep.cache_dir.glob("*.json")}
+        assert after == before
+
+    def test_max_tasks_parks_midway(self, tmp_path):
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(callable_manifest(count=4))
+        assert self.run_worker(sweep, max_tasks=2).completed == 2
+        assert sweep.status()["counts"]["done"] == 2
+        assert self.run_worker(sweep, worker_id="w2").completed == 2
+        assert sweep.status()["counts"]["pending"] == 0
+
+    def test_quarantines_poison_task_and_keeps_going(self, tmp_path):
+        manifest = manifest_from_callables("poison", [
+            {"label": "bad", "fn": "repro.sweep.tasks:always_fails",
+             "kwargs": {"label": "bad"}},
+            {"label": "good", "fn": "repro.sweep.tasks:checksum",
+             "kwargs": {"label": "good", "seed": 1, "rounds": 5}}])
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(manifest)
+        report = self.run_worker(sweep, retries=1,
+                                 backoff_base_s=0.001)
+        assert report.completed == 1
+        assert report.quarantined == 1
+        record = sweep.quarantined()
+        (fingerprint,) = record
+        assert record[fingerprint]["label"] == "bad"
+        failed = FailedRun.from_dict(record[fingerprint]["failed"])
+        assert failed.attempts == 2
+        assert len(failed.backoff_s) == 1
+        # A later worker skips the quarantined task instead of
+        # re-poisoning itself.
+        assert self.run_worker(sweep, worker_id="w2").completed == 0
+        counts = sweep.status()["counts"]
+        assert counts == {"done": 1, "quarantined": 1, "leased": 0,
+                          "pending": 0}
+
+    def test_transient_failure_heals_via_retry(self, tmp_path):
+        counter = tmp_path / "attempts"
+        manifest = manifest_from_callables("flaky", [
+            {"label": "flaky", "fn": "repro.sweep.tasks:flaky",
+             "kwargs": {"label": "flaky", "counter": str(counter),
+                        "fail_first": 1}}])
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(manifest)
+        report = self.run_worker(sweep, retries=2,
+                                 backoff_base_s=0.001)
+        assert report.completed == 1
+        assert report.quarantined == 0
+        assert counter.read_text() == "2"
+
+    def test_sigterm_releases_lease_and_keeps_results(self, tmp_path):
+        marker = tmp_path / "first-done"
+        manifest = manifest_from_callables("term", [
+            {"label": "ok", "fn": "repro.sweep.tasks:checksum",
+             "kwargs": {"label": "ok", "seed": 0, "rounds": 5}},
+            {"label": "boom", "fn": "tests.test_sweep_fabric:_self_term",
+             "kwargs": {"marker": str(marker)}}])
+        sweep = SweepDir(tmp_path / "s")
+        sweep.initialise(manifest)
+        worker = SweepWorker(sweep, WorkerConfig(
+            worker_id="term-w0", heartbeat=False,
+            install_signal_handlers=True))
+        report = worker.run()
+        assert report.interrupted
+        assert report.completed == 1
+        counts = sweep.status()["counts"]
+        assert counts["done"] == 1 and counts["leased"] == 0
+        # The handler was restored on the way out.
+        assert signal.getsignal(signal.SIGTERM) is not \
+            worker._raise_shutdown
+
+
+def _self_term(marker):
+    """Sweep task that SIGTERMs its own worker process."""
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write("here")
+    os.kill(os.getpid(), signal.SIGTERM)
+    # The signal is delivered at a bytecode boundary; force one.
+    import time
+    time.sleep(1.0)  # simlint: allow[D103] waiting for own SIGTERM
+    raise AssertionError("SIGTERM was not delivered")
+
+
+def _noop():
+    return {"ok": True}
+
+
+def _raise_value_error():
+    raise ValueError("deterministic boom")
+
+
+class TestRunTasksSigterm:
+    """Satellite: ``run_tasks`` flushes on SIGTERM like it does on ^C."""
+
+    def make_tasks(self, tmp_path, labels):
+        def ok(label):
+            return {"label": label}
+        tasks = []
+        for label in labels:
+            fn = ok if label != "boom" else \
+                (lambda label: _self_term(str(tmp_path / "marker")))
+            tasks.append(Task(
+                fn=fn, kwargs={"label": label}, label=label,
+                fingerprint=parallel.fingerprint(
+                    "demo", {"label": label}),
+                kind="demo", encode=lambda v: v, decode=lambda v: v))
+        return tasks
+
+    def test_sigterm_flushes_completed_results(self, tmp_path):
+        tasks = self.make_tasks(tmp_path, ["a", "b", "boom"])
+        with pytest.raises(TerminateSweep):
+            run_tasks(tasks, workers=1, cache_dir=tmp_path / "cache")
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.load(tasks[0].fingerprint) == {"label": "a"}
+        assert cache.load(tasks[1].fingerprint) == {"label": "b"}
+        assert cache.load(tasks[2].fingerprint) is None
+        # The previous SIGTERM disposition came back.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+    def test_backoff_records_actual_sleep_on_interrupt(self, tmp_path,
+                                                       monkeypatch):
+        """Satellite: interrupted backoff logs slept time, not the plan."""
+        def explode(*args, **kwargs):
+            raise KeyboardInterrupt()
+        monkeypatch.setattr(parallel, "_sleep", explode)
+        task = Task(fn=_raise_value_error, kwargs={}, label="fail",
+                    fingerprint="", kind="demo",
+                    encode=lambda v: v, decode=lambda v: v)
+        with pytest.raises(KeyboardInterrupt) as excinfo:
+            run_tasks([task], workers=1, retries=2,
+                      backoff_base_s=10.0)
+        failed = excinfo.value.failed_run
+        assert failed.interrupted
+        assert failed.attempts == 1
+        # The planned delay was ~10s+; none of it was actually slept.
+        assert len(failed.backoff_s) == 1
+        assert failed.backoff_s[0] < 1.0
+        assert "interrupted during retry backoff" in failed.error
+        rebuilt = FailedRun.from_dict(
+            json.loads(json.dumps(failed.to_dict())))
+        assert rebuilt.interrupted
+
+
+class TestCachePrune:
+    def seed_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store("aaaa", "demo", "good-1", {"x": 1})
+        cache.store("bbbb", "demo", "good-2", {"x": 2})
+        return cache
+
+    def test_prune_removes_corrupt_and_truncated(self, tmp_path):
+        cache = self.seed_cache(tmp_path)
+        root = tmp_path / "cache"
+        (root / "cccc.json").write_text("{\"cache_version\": 1, tru")
+        (root / "dddd.json").write_text(json.dumps(
+            {"cache_version": 99, "payload": {}}))
+        (root / "eeee.json.tmp").write_text("orphaned temp")
+        report = cache.prune()
+        assert report["kept"] == 2
+        assert sorted(report["removed"]) == [
+            "cccc.json", "dddd.json", "eeee.json.tmp"]
+        assert report["reclaimed_bytes"] > 0
+        assert cache.load("aaaa") == {"x": 1}
+        assert cache.load("bbbb") == {"x": 2}
+        # Idempotent: a second pass finds nothing to do.
+        assert cache.prune()["removed"] == []
+
+    def test_cache_gc_cli(self, tmp_path, capsys):
+        self.seed_cache(tmp_path)
+        (tmp_path / "cache" / "zzzz.json").write_text("not json")
+        from repro.experiments.cli import main
+        assert main(["cache", "gc", "--cache-dir",
+                     str(tmp_path / "cache"), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kept"] == 2
+        assert report["removed"] == ["zzzz.json"]
+
+
+class TestSweepCli:
+    @pytest.fixture
+    def suite_dir(self, tmp_path):
+        directory = tmp_path / "suite"
+        directory.mkdir()
+        (directory / "tiny.json").write_text(json.dumps({
+            "schema_version": 1, "name": "tiny",
+            "scenario": {"rate_bps": 100e6, "rtts_ms": [20, 30],
+                         "buffer_mtus": 60,
+                         "cca_mix": [["newreno", 1], ["newreno", 1]],
+                         "duration_s": 2.0},
+            "policy": {"target_rate_bps": 5e6, "max_rate_bps": 5e6},
+            "disciplines": ["fifo"], "repeats": 1}))
+        return directory
+
+    def test_init_work_status_merge(self, tmp_path, suite_dir, capsys):
+        from repro.sweep.cli import main
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["init", sweep_dir, "--suite",
+                     str(suite_dir)]) == 0
+        assert main(["status", sweep_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["counts"] == {"done": 0, "quarantined": 0,
+                                    "leased": 0, "pending": 1}
+        # merge before completion: exit 1, the hole is reported.
+        out = tmp_path / "merged.json"
+        assert main(["merge", sweep_dir, "--out", str(out)]) == 1
+        document = json.loads(out.read_text())
+        assert document["results"][0]["status"] == "missing"
+        assert main(["work", sweep_dir, "--worker-id", "cli-w0"]) == 0
+        assert main(["status", sweep_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["counts"]["done"] == 1
+        assert main(["merge", sweep_dir, "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["results"][0]["status"] == "done"
+        assert document["results"][0]["payload"]["discipline"] == "fifo"
+
+    def test_resume_completes_pending(self, tmp_path, suite_dir):
+        from repro.sweep.cli import main
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["init", sweep_dir, "--suite",
+                     str(suite_dir)]) == 0
+        assert main(["resume", sweep_dir, "--quiet"]) == 0
+        assert SweepDir(sweep_dir).status()["counts"]["done"] == 1
+        # Resume metrics got recorded.
+        metrics = json.loads(
+            (SweepDir(sweep_dir).metrics_dir / "resume.json")
+            .read_text())
+        names = {m["name"] for m in metrics["counters"]}
+        assert "sweep_resumes_total" in names
+
+    def test_suite_fabric_flag(self, tmp_path, suite_dir, capsys):
+        from repro.suite.cli import main
+        fabric_dir = str(tmp_path / "fabric")
+        assert main([str(suite_dir), "--fabric", "--fabric-dir",
+                     fabric_dir,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "JFI=" in capsys.readouterr().out
+        assert SweepDir(fabric_dir).status()["counts"]["done"] == 1
+
+    def test_fabric_dir_requires_fabric(self, suite_dir):
+        from repro.suite.cli import main
+        with pytest.raises(SystemExit):
+            main([str(suite_dir), "--fabric-dir", "x"])
