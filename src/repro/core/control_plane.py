@@ -25,6 +25,7 @@ from ..heavyhitter.hashpipe import select_bottlenecked
 from ..netsim.engine import SECOND, Simulator
 from ..netsim.packet import FlowId
 from ..obs import bus as obs_bus
+from ..obs import spans as obs_spans
 from ..obs.events import ControlRound, sorted_flow_strings
 from .params import CebinaeParams
 from .queue_disc import CebinaeQueueDisc
@@ -113,6 +114,10 @@ class CebinaeControlPlane:
         # off.  ``_last_utilization`` remembers the most recent
         # recompute's reading so non-recompute rounds still report it.
         self._trace_round = obs_bus.emitter_for("control")
+        # Span leaves: one ``round`` span per applied reconfiguration,
+        # emitted directly (no stack frame) under whatever run/phase
+        # span is open when the round lands.
+        self._trace_span = obs_bus.emitter_for("span")
         self._last_utilization = 0.0
         # Bootstrap the round schedule: first rotation after one dT.
         self.sim.schedule(self.params.dt_ns, self._on_rotate)
@@ -190,6 +195,8 @@ class CebinaeControlPlane:
 
     def _apply_config(self, retired_queue: int) -> None:
         """End of the control window: all changes become visible."""
+        trace_span = self._trace_span
+        wall0 = obs_spans.wall_now() if trace_span is not None else 0.0
         if self.qdisc.fail_open:
             # A fresh configuration ends the degraded spell; the next
             # recompute (below or on a later round) re-converges rates.
@@ -222,6 +229,10 @@ class CebinaeControlPlane:
                 bottom_rate_bytes_per_sec=self._pending_bottom_rate,
                 top_flows=sorted_flow_strings(self.qdisc.top_flows),
                 recomputed=recomputed, fail_open=False))
+        if trace_span is not None:
+            obs_spans.emit_leaf(
+                trace_span, "round", "control-round", self.sim.now_ns,
+                obs_spans.wall_now() - wall0, count=self.round_counter)
 
     # -- the every-P-rounds recomputation -----------------------------------------
     def _recompute(self) -> None:

@@ -189,12 +189,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..suite.cli import main as suite_main
         return suite_main(argv[1:])
     if argv and argv[0] == "sweep":
-        # ``cebinae-repro sweep init|work|status|resume|merge|run``:
-        # the crash-resumable distributed sweep fabric (see
+        # ``cebinae-repro sweep init|work|watch|status|resume|merge|
+        # run``: the crash-resumable distributed sweep fabric (see
         # repro.sweep): manifest of fingerprinted tasks, lease-claiming
-        # workers, quarantine, kill -9-safe resume.
+        # workers, quarantine, kill -9-safe resume, live fleet watch.
         from ..sweep.cli import main as sweep_main
         return sweep_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # ``cebinae-repro bench report BENCH_*.json ...``: fold
+        # benchmark artifacts into one trend table with
+        # normalised-ratio regression flagging (see
+        # repro.experiments.bench_trend).
+        from .bench_trend import main as bench_main
+        return bench_main(argv[1:])
     if argv and argv[0] == "cache":
         # ``cebinae-repro cache gc``: prune corrupted/truncated result
         # cache entries (silent misses that linger on disk forever).

@@ -33,6 +33,7 @@ from ..netsim.topology import Dumbbell, build_dumbbell
 from ..netsim.tracing import FlowMonitor
 from ..obs import bus as obs_bus
 from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from ..tcp.flows import TcpFlow, connect_flow
 from .scenarios import ScaledScenario
 
@@ -394,13 +395,31 @@ def run_scenario(scaled: ScaledScenario, discipline: Discipline,
                          f"{BACKENDS}")
     harness = _build_harness(scaled, discipline, record_history, seed,
                              faults, wall_limit_s, max_events)
-    if backend == "hybrid":
-        return _run_hybrid(harness, scaled, discipline, collect_series,
-                           record_history, faults,
-                           hybrid_policy or HybridPolicy())
-    harness.run_until(harness.duration_ns)
-    return _collect_result(harness, scaled, discipline, collect_series,
-                           record_history)
+    # The run span opens after harness construction (the bus clock is
+    # bound to the simulator there) and closes around the whole
+    # execution, whichever backend runs it.  Zero-cost off: open_span
+    # returns None when no bus carries the span topic.
+    run_span = obs_spans.open_span("run", scaled.spec.name)
+    try:
+        if backend == "hybrid":
+            result = _run_hybrid(harness, scaled, discipline,
+                                 collect_series, record_history, faults,
+                                 hybrid_policy or HybridPolicy())
+        else:
+            with obs_spans.span("phase", "drain") as phase:
+                harness.run_until(harness.duration_ns)
+                if phase is not None:
+                    phase.count = harness.sim.processed_events
+            result = _collect_result(harness, scaled, discipline,
+                                     collect_series, record_history)
+    except BaseException:
+        if run_span is not None:
+            obs_spans.close_span(run_span, status="error")
+        raise
+    if run_span is not None:
+        run_span.count = harness.sim.processed_events
+        obs_spans.close_span(run_span)
+    return result
 
 
 def _run_hybrid(harness: _Harness, scaled: ScaledScenario,
@@ -425,7 +444,10 @@ def _run_hybrid(harness: _Harness, scaled: ScaledScenario,
     def finish_packet(reason: str, extensions: int = 0,
                       divergence: Optional[float] = None
                       ) -> ScenarioResult:
-        harness.run_until(duration_ns)
+        with obs_spans.span("phase", "drain") as phase:
+            harness.run_until(duration_ns)
+            if phase is not None:
+                phase.count = harness.sim.processed_events
         report = FluidPhaseReport(
             mode="packet", reason=reason, extensions=extensions,
             divergence=divergence,
@@ -458,17 +480,27 @@ def _run_hybrid(harness: _Harness, scaled: ScaledScenario,
     half_ns = seconds(policy.measure_s) // 2
     handoff_ns = seconds(policy.handoff_s(spec.max_rtt_s, last_start_s))
     extensions = 0
-    harness.run_until(handoff_ns - 2 * half_ns)
+    with obs_spans.span("phase", "warmup") as warm:
+        harness.run_until(handoff_ns - 2 * half_ns)
+        if warm is not None:
+            warm.count = harness.sim.processed_events
     first_bytes = harness.delivered_bytes()
     wire_start = harness.dumbbell.bottleneck.tx_bytes
     while True:
-        harness.run_until(harness.sim.now_ns + half_ns)
-        mid_bytes = harness.delivered_bytes()
-        harness.run_until(harness.sim.now_ns + half_ns)
-        tail_bytes = harness.delivered_bytes()
-        early = measured_rates_bps(first_bytes, mid_bytes, half_ns)
-        late = measured_rates_bps(mid_bytes, tail_bytes, half_ns)
-        divergence = rate_divergence(early, late, distributional=True)
+        # Each probe iteration is its own phase span; the break/return
+        # decisions stay outside it so a drain phase never nests under
+        # a probe.
+        with obs_spans.span("phase", "stability-probe") as probe:
+            harness.run_until(harness.sim.now_ns + half_ns)
+            mid_bytes = harness.delivered_bytes()
+            harness.run_until(harness.sim.now_ns + half_ns)
+            tail_bytes = harness.delivered_bytes()
+            early = measured_rates_bps(first_bytes, mid_bytes, half_ns)
+            late = measured_rates_bps(mid_bytes, tail_bytes, half_ns)
+            divergence = rate_divergence(early, late,
+                                         distributional=True)
+            if probe is not None:
+                probe.count = harness.sim.processed_events
         if divergence <= policy.stability_tol:
             break
         still_viable = (duration_ns - (harness.sim.now_ns + 2 * half_ns)
@@ -505,16 +537,19 @@ def _run_hybrid(harness: _Harness, scaled: ScaledScenario,
             anchor,
             [(plan.cca, plan.rtt_s, rate_pool_key(rate))
              for plan, rate in zip(plans, anchor)])
-    epochs = equilibrium_schedule(
-        discipline.value, anchor, fluid_ns,
-        cebinae=scaled.cebinae if discipline is Discipline.CEBINAE
-        else None)
-    payload_bytes = advance_fluid(
-        harness.monitor, [flow.flow_id for flow in harness.flows],
-        epochs, handoff_at_ns)
-    overhead = wire_overhead_ratio(
-        harness.dumbbell.bottleneck.tx_bytes - wire_start,
-        sum(tail_bytes) - sum(first_bytes))
+    with obs_spans.span("phase", "fluid-epoch") as fluid:
+        epochs = equilibrium_schedule(
+            discipline.value, anchor, fluid_ns,
+            cebinae=scaled.cebinae if discipline is Discipline.CEBINAE
+            else None)
+        payload_bytes = advance_fluid(
+            harness.monitor, [flow.flow_id for flow in harness.flows],
+            epochs, handoff_at_ns)
+        overhead = wire_overhead_ratio(
+            harness.dumbbell.bottleneck.tx_bytes - wire_start,
+            sum(tail_bytes) - sum(first_bytes))
+        if fluid is not None:
+            fluid.count = len(epochs)
     report = FluidPhaseReport(
         mode="fluid",
         handoff_s=handoff_at_ns / SECOND,

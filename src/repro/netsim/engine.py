@@ -61,6 +61,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, List,
 from ..analysis import invariants
 from ..analysis.invariants import require_int_ns
 from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from . import profiling
 
 if TYPE_CHECKING:
@@ -484,6 +485,9 @@ class Simulator:
             # this is once per run, not per event.)
             require_int_ns(until_ns, "run() until_ns")
         self._running = True
+        # The span is named "events", never after the scheduler class:
+        # span streams must stay byte-identical across backends.
+        span = obs_spans.open_span("engine", "events")
         profiler = profiling.current()
         record = profiler.record if profiler is not None else None
         wall_start = profiling.monotonic() if profiler is not None else 0.0
@@ -548,6 +552,9 @@ class Simulator:
                 self._now_ns = until_ns
         finally:
             self._running = False
+            if span is not None:
+                span.count = executed
+                obs_spans.close_span(span)
             if profiler is not None:
                 profiler.record_run(
                     self._now_ns - start_ns,

@@ -9,26 +9,36 @@ Three pieces:
 * :mod:`repro.obs.metrics` — labelled counters/gauges/histograms with
   versioned JSON snapshots, absorbing the PR 3 hot-path profiler;
 * :mod:`repro.obs.sinks` — deterministic JSONL traces, pcap-style
-  per-port packet logs, and the control-plane timeline the report
-  layer prints next to JFI series.
+  per-port packet logs, span JSONL files, and the control-plane
+  timeline the report layer prints next to JFI series;
+* :mod:`repro.obs.spans` — hierarchical lifecycle spans (sweep →
+  shard → task → run → phase / engine / round) with deterministic
+  tree-position ids, carried on the bus's ``span`` topic;
+* :mod:`repro.obs.aggregate` — cross-worker snapshot merging and the
+  fleet view ``cebinae-repro sweep watch`` renders.
 
 This package never imports the simulator or the experiments layer
 (``repro.obs.cli`` is the one exception and must be imported
 explicitly), so any component can depend on it without cycles.
 """
 
-from . import bus, events, metrics, sinks
+from . import aggregate, bus, events, metrics, sinks, spans
+from .aggregate import AGGREGATE_SCHEMA_VERSION, fleet_view, merge_snapshots
 from .bus import TraceBus, tracing
 from .events import (TRACE_SCHEMA_VERSION, TOPICS, SchemaError,
-                     TraceRecord, validate_record)
+                     SpanEvent, TraceRecord, canonical_dict,
+                     validate_record)
 from .metrics import METRICS_SCHEMA_VERSION, MetricsRegistry, collected
-from .sinks import (ControlTimelineSink, JsonlTraceSink, MemorySink,
-                    PacketLogSink)
+from .sinks import (ControlTimelineSink, JsonlSpanSink, JsonlTraceSink,
+                    MemorySink, PacketLogSink)
+from .spans import span, span_tree
 
 __all__ = [
-    "METRICS_SCHEMA_VERSION", "TOPICS", "TRACE_SCHEMA_VERSION",
-    "ControlTimelineSink", "JsonlTraceSink", "MemorySink",
-    "MetricsRegistry", "PacketLogSink", "SchemaError", "TraceBus",
-    "TraceRecord", "bus", "collected", "events", "metrics", "sinks",
-    "tracing", "validate_record",
+    "AGGREGATE_SCHEMA_VERSION", "METRICS_SCHEMA_VERSION", "TOPICS",
+    "TRACE_SCHEMA_VERSION", "ControlTimelineSink", "JsonlSpanSink",
+    "JsonlTraceSink", "MemorySink", "MetricsRegistry", "PacketLogSink",
+    "SchemaError", "SpanEvent", "TraceBus", "TraceRecord", "aggregate",
+    "bus", "canonical_dict", "collected", "events", "fleet_view",
+    "merge_snapshots", "metrics", "sinks", "span", "span_tree",
+    "spans", "tracing", "validate_record",
 ]

@@ -10,11 +10,16 @@ scenario, and writes a deterministic artifact directory::
     <out>/trace.jsonl             one record per line, event order
     <out>/control_timeline.jsonl  the per-dT control rounds alone
     <out>/pkts_<port>.log         per-port packet logs (packet topic)
+    <out>/spans.jsonl             lifecycle spans alone (span topic)
     <out>/metrics.json            registry snapshot (--metrics-json)
 
 Every file is byte-identical across repeated runs with the same
 arguments, on either scheduler backend — that is what the CI
-``obs-smoke`` job replays.
+``obs-smoke`` job replays.  Spans live in their own file because each
+:class:`~repro.obs.events.SpanEvent` carries the schema's one
+wall-clock field (``wall_s``): ``trace.jsonl`` keeps the raw
+byte-identity guarantee, and ``spans.jsonl`` is byte-identical after
+:func:`~repro.obs.events.canonical_dict` strips the wall readings.
 """
 
 from __future__ import annotations
@@ -30,8 +35,8 @@ from ..experiments.scenarios import DEFAULT_POLICY, ScenarioSpec
 from . import bus as obs_bus
 from . import metrics as obs_metrics
 from .events import TOPICS
-from .sinks import (ControlTimelineSink, JsonlTraceSink, PacketLogSink,
-                    _JSON_KWARGS)
+from .sinks import (ControlTimelineSink, JsonlSpanSink, JsonlTraceSink,
+                    PacketLogSink, _JSON_KWARGS)
 
 #: Paper scenarios the trace CLI can rebuild (figure-9-class default).
 SCENARIOS = ("figure1", "figure7", "figure9")
@@ -105,8 +110,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     os.makedirs(args.out, exist_ok=True)
 
     bus = obs_bus.TraceBus()
-    bus.subscribe(topics, JsonlTraceSink(
-        os.path.join(args.out, "trace.jsonl")))
+    # Spans go to their own file (wall_s is nondeterministic by
+    # design); everything else keeps trace.jsonl raw byte identity.
+    trace_topics = [topic for topic in topics if topic != "span"]
+    if trace_topics:
+        bus.subscribe(trace_topics, JsonlTraceSink(
+            os.path.join(args.out, "trace.jsonl")))
+    if "span" in topics:
+        bus.subscribe("span", JsonlSpanSink(
+            os.path.join(args.out, "spans.jsonl")))
     if "packet" in topics:
         bus.subscribe("packet", PacketLogSink(args.out))
     timeline: Optional[ControlTimelineSink] = None

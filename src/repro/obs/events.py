@@ -24,6 +24,9 @@ tcp        :class:`~repro.tcp.socket.TcpSender` cwnd samples and
            state transitions
 fault      :class:`~repro.faults.schedule.FaultSchedule` structural
            events (folded from ``repro.netsim.tracing.FaultEvent``)
+span       :mod:`repro.obs.spans` lifecycle spans (sweep → shard →
+           task → run → phase / engine / control round), one record
+           per *closed* span
 ========== ==========================================================
 
 Determinism rules (see DESIGN.md §11): every field is derived from
@@ -31,6 +34,12 @@ simulation state only — integer-nanosecond times, flow ids rendered
 with ``str(FlowId)``, and any set-valued field (⊤ membership) sorted
 before it enters the frozen record.  Two runs with the same seed emit
 byte-identical event streams on every scheduler backend.
+
+One documented exception: :class:`SpanEvent.wall_s` measures host
+wall-clock time by design (spans exist to explain where wall-clock
+goes).  :data:`NONDETERMINISTIC_FIELDS` names such fields and
+:func:`canonical_dict` strips them, so byte-identity checks compare
+everything *except* the wall readings.
 """
 
 from __future__ import annotations
@@ -40,12 +49,13 @@ from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Mapping, Tuple, Type
 
 #: Version of the JSONL record layout.  Bump when a field is renamed,
-#: retyped, or removed (additions are backward compatible).
-TRACE_SCHEMA_VERSION = 1
+#: retyped, or removed (additions are backward compatible).  Version 2
+#: added the ``span`` topic and :class:`SpanEvent`.
+TRACE_SCHEMA_VERSION = 2
 
 #: Every topic the bus accepts, in documentation order.
 TOPICS: Tuple[str, ...] = ("packet", "queue", "lbf", "hashpipe",
-                           "control", "tcp", "fault")
+                           "control", "tcp", "fault", "span")
 
 
 @dataclass(frozen=True)
@@ -176,13 +186,59 @@ class FaultTraceEvent(TraceRecord):
     target: str = ""
 
 
+@dataclass(frozen=True)
+class SpanEvent(TraceRecord):
+    """One closed lifecycle span (see :mod:`repro.obs.spans`).
+
+    Emitted exactly once, when the span *closes*: ``start_ns`` is the
+    simulation clock at open and the inherited ``time_ns`` the clock
+    at close (both 0 for host-level spans — sweep/shard/task — that
+    run outside any one simulation).  ``span_id`` and ``parent_id``
+    are deterministic tree-position digests
+    (:func:`repro.obs.spans.derive_span_id`), so identical runs yield
+    identical trees.  ``wall_s`` is the host wall-clock duration — the
+    single nondeterministic field in the whole schema (see
+    :data:`NONDETERMINISTIC_FIELDS`).  ``count`` is the span's natural
+    volume unit: executed events for run/engine spans, fluid epochs
+    for the fluid phase, completed tasks for sweep-level spans.
+    """
+
+    topic: ClassVar[str] = "span"
+    span_id: str = ""
+    parent_id: str = ""
+    kind: str = "phase"  # sweep | shard | task | run | phase
+                         # | engine | round
+    name: str = ""
+    start_ns: int = 0
+    wall_s: float = 0.0
+    count: int = 0
+    status: str = "ok"   # ok | error
+
+
 #: Registry of record classes by ``type`` tag, for schema validation.
 RECORD_TYPES: Dict[str, Type[TraceRecord]] = {
     cls.__name__: cls
     for cls in (PacketTx, QueueDrop, LbfDecisionEvent, LbfRotation,
                 CacheUpdate, ControlRound, TcpStateEvent,
-                FaultTraceEvent)
+                FaultTraceEvent, SpanEvent)
 }
+
+#: Record fields whose values come from host wall clocks rather than
+#: simulation state, by record type.  Byte-identity comparisons strip
+#: them via :func:`canonical_dict`; every other field of every record
+#: is covered by the determinism contract.
+NONDETERMINISTIC_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "SpanEvent": ("wall_s",),
+}
+
+
+def canonical_dict(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """``data`` minus its nondeterministic (wall-clock) fields."""
+    drop = NONDETERMINISTIC_FIELDS.get(str(data.get("type")), ())
+    if not drop:
+        return dict(data)
+    return {key: value for key, value in data.items()
+            if key not in drop}
 
 #: Python-type → the JSON primitive(s) it may serialize to.
 _FIELD_JSON_TYPES: Dict[str, Tuple[type, ...]] = {

@@ -102,6 +102,9 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        #: When the snapshot this registry was loaded from was taken
+        #: (host-monotonic seconds), or None for a live registry.
+        self.captured_at: Optional[float] = None
 
     # -- instrument accessors (create on first use) ------------------------
     def counter(self, name: str, **labels: str) -> Counter:
@@ -146,8 +149,16 @@ class MetricsRegistry:
                          component=component).inc(events)
 
     # -- snapshot / round-trip ---------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
-        """A versioned, deterministically ordered JSON document."""
+    def snapshot(self,
+                 captured_at: Optional[float] = None) -> Dict[str, Any]:
+        """A versioned, deterministically ordered JSON document.
+
+        ``captured_at`` (host-monotonic seconds) stamps when the
+        snapshot was taken, so readers of periodically rewritten files
+        — the sweep workers' live metrics — can judge staleness.  The
+        key is present only when a stamp is given: default snapshots
+        stay byte-stable and old snapshots (no stamp) still load.
+        """
 
         def rows(table: Dict[Tuple[str, LabelKey], Any],
                  render: Any) -> List[Dict[str, Any]]:
@@ -159,7 +170,7 @@ class MetricsRegistry:
                 out.append(row)
             return out
 
-        return {
+        document: Dict[str, Any] = {
             "schema_version": METRICS_SCHEMA_VERSION,
             "counters": rows(self._counters,
                              lambda c: {"value": c.value}),
@@ -167,21 +178,34 @@ class MetricsRegistry:
             "histograms": rows(self._histograms,
                                lambda h: h.to_dict()),
         }
+        if captured_at is not None:
+            document["captured_at"] = float(captured_at)
+        return document
 
-    def write_json(self, path: str) -> None:
+    def write_json(self, path: str,
+                   captured_at: Optional[float] = None) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            json.dump(self.snapshot(captured_at=captured_at), handle,
+                      indent=2, sort_keys=True)
             handle.write("\n")
 
 
 def load_snapshot(data: Mapping[str, Any]) -> MetricsRegistry:
-    """Rebuild a registry from :meth:`MetricsRegistry.snapshot` output."""
+    """Rebuild a registry from :meth:`MetricsRegistry.snapshot` output.
+
+    Tolerates the optional ``captured_at`` stamp's absence (pre-stamp
+    snapshots merge unchanged); when present it is surfaced as a
+    ``captured_at`` attribute on the returned registry.
+    """
     version = data.get("schema_version")
     if version != METRICS_SCHEMA_VERSION:
         raise ValueError(
             f"metrics snapshot schema_version {version!r} is not "
             f"{METRICS_SCHEMA_VERSION}")
     registry = MetricsRegistry()
+    stamp = data.get("captured_at")
+    if isinstance(stamp, (int, float)) and not isinstance(stamp, bool):
+        registry.captured_at = float(stamp)
     for row in data.get("counters", ()):
         registry.counter(row["name"], **row["labels"]).inc(row["value"])
     for row in data.get("gauges", ()):
@@ -268,6 +292,15 @@ def record_hybrid(registry: MetricsRegistry, report: Any,
 SWEEP_EVENTS = ("tasks_completed", "tasks_quarantined",
                 "lease_expiries", "lease_lost", "interrupts", "resumes")
 
+#: Sweep-fabric *gauge* names accepted by :func:`record_sweep`:
+#: point-in-time state the watch view renders.  ``inflight_shards`` is
+#: 1 while the worker holds a lease, ``quarantine_depth`` its running
+#: quarantined count, ``last_task_index`` the manifest index of its
+#: most recently completed task (the watch view maps it back to the
+#: task's fingerprint and label).
+SWEEP_GAUGES = ("inflight_shards", "quarantine_depth",
+                "last_task_index")
+
 
 def record_sweep(registry: MetricsRegistry, event: str,
                  worker: str = "", amount: float = 1) -> None:
@@ -276,12 +309,18 @@ def record_sweep(registry: MetricsRegistry, event: str,
     The fabric's counters live here (rather than inside ``repro.sweep``)
     so every metric name across the stack is declared in one module and
     snapshots stay schema-stable; an unknown event is a programming
-    error, not a new time series.
+    error, not a new time series.  Names in :data:`SWEEP_EVENTS`
+    increment a ``sweep_<event>_total`` counter by ``amount``; names in
+    :data:`SWEEP_GAUGES` *set* the ``sweep_<event>`` gauge to it.
     """
+    labels = {"worker": worker} if worker else {}
+    if event in SWEEP_GAUGES:
+        registry.gauge(f"sweep_{event}", **labels).set(amount)
+        return
     if event not in SWEEP_EVENTS:
         raise ValueError(
-            f"unknown sweep event {event!r}; known: {list(SWEEP_EVENTS)}")
-    labels = {"worker": worker} if worker else {}
+            f"unknown sweep event {event!r}; known: "
+            f"{list(SWEEP_EVENTS) + list(SWEEP_GAUGES)}")
     registry.counter(f"sweep_{event}_total", **labels).inc(amount)
 
 
@@ -321,6 +360,6 @@ def collected() -> Iterator[MetricsRegistry]:
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
     "METRICS_SCHEMA_VERSION", "MetricsRegistry", "collected", "current",
-    "SWEEP_EVENTS", "disable", "enable", "load_json", "load_snapshot",
-    "record_hybrid", "record_scenario", "record_sweep",
+    "SWEEP_EVENTS", "SWEEP_GAUGES", "disable", "enable", "load_json",
+    "load_snapshot", "record_hybrid", "record_scenario", "record_sweep",
 ]

@@ -14,7 +14,7 @@ import json
 import os
 from typing import IO, Any, Dict, List, Optional
 
-from .events import ControlRound, PacketTx, TraceRecord
+from .events import ControlRound, PacketTx, SpanEvent, TraceRecord
 
 #: Compact, key-sorted JSON: the only encoding sinks use.
 _JSON_KWARGS: Dict[str, Any] = {"sort_keys": True,
@@ -106,6 +106,37 @@ class PacketLogSink:
         self._handles.clear()
 
 
+class JsonlSpanSink:
+    """Lifecycle spans alone, one JSON object per line, in close order.
+
+    The file is everything needed to rebuild the span tree
+    (:func:`repro.obs.spans.span_tree`).  Span records carry the one
+    schema-sanctioned nondeterministic field (``wall_s``, host
+    wall-clock); strip it with
+    :func:`repro.obs.events.canonical_dict` before comparing span
+    files byte-wise — every other byte is deterministic.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w",
+                                               encoding="utf-8")
+
+    def accept(self, record: TraceRecord) -> None:
+        if not isinstance(record, SpanEvent):
+            return
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"span sink {self.path!r} is closed")
+        handle.write(encode_record(record))
+        handle.write("\n")
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+
 class ControlTimelineSink:
     """Collects per-``dT`` control-plane rounds for reports and JSONL.
 
@@ -137,6 +168,6 @@ class ControlTimelineSink:
 
 
 __all__ = [
-    "ControlTimelineSink", "JsonlTraceSink", "MemorySink",
-    "PacketLogSink", "encode_record",
+    "ControlTimelineSink", "JsonlSpanSink", "JsonlTraceSink",
+    "MemorySink", "PacketLogSink", "encode_record",
 ]

@@ -4,6 +4,7 @@ Typical lifecycle::
 
     cebinae-repro sweep init  SWEEP --suite examples/suites/tier1
     cebinae-repro sweep work  SWEEP &         # repeat for N workers
+    cebinae-repro sweep watch SWEEP           # live fleet view
     cebinae-repro sweep status SWEEP
     # ... a worker dies, the host reboots, CI cancels the job ...
     cebinae-repro sweep resume SWEEP --workers 4
@@ -12,7 +13,10 @@ Typical lifecycle::
 ``init`` compiles a directory of declarative suite specs into the
 fsynced manifest; ``work`` runs one worker process against it;
 ``status`` reports per-shard progress computed from the sweep
-directory alone; ``resume`` breaks expired leases, counts the resume
+directory alone; ``watch`` renders the cross-worker fleet view
+(:func:`repro.obs.aggregate.fleet_view`) on a refresh loop, or — with
+``--once --json`` — prints the one canonical aggregate document CI and
+tests parse; ``resume`` breaks expired leases, counts the resume
 in the metrics, and finishes the remaining tasks with N fresh workers
 (in-process when N=1, subprocesses otherwise); ``merge`` writes the
 ordered, canonical merged result document — byte-identical regardless
@@ -33,13 +37,14 @@ import os
 import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.metrics import MetricsRegistry, record_sweep
 from .lease import LeaseStore
 from .manifest import (ManifestError, SweepDir, SweepManifest,
-                       manifest_from_runs)
+                       _shard_key, manifest_from_runs)
 from .worker import SweepShutdown, SweepWorker, WorkerConfig
 
 #: Exit code when a worker was stopped by SIGTERM/SIGINT.
@@ -99,12 +104,29 @@ def _worker_config(args: argparse.Namespace) -> WorkerConfig:
 
 def _cmd_work(args: argparse.Namespace) -> int:
     sweep = SweepDir(args.directory)
-    worker = SweepWorker(sweep, _worker_config(args), progress=_print)
+    config = _worker_config(args)
+    worker = SweepWorker(sweep, config, progress=_print)
+    bus = sink = None
+    if args.spans:
+        # Lifecycle spans for this worker: sweep → shard → task (and,
+        # below the tasks, run/phase/engine spans from the runner).
+        from ..obs import bus as obs_bus
+        from ..obs.sinks import JsonlSpanSink
+        sweep.metrics_dir.mkdir(parents=True, exist_ok=True)
+        sink = JsonlSpanSink(str(
+            sweep.metrics_dir / f"{config.worker_id}.spans.jsonl"))
+        bus = obs_bus.install(obs_bus.TraceBus())
+        bus.subscribe("span", sink)
     try:
         report = worker.run()
     except ManifestError as exc:
         _print(f"error: {exc}")
         return 2
+    finally:
+        if bus is not None:
+            from ..obs import bus as obs_bus
+            obs_bus.uninstall()
+            sink.close()
     _print(f"[sweep] worker {report.worker_id}: "
            f"{report.completed} completed, "
            f"{report.quarantined} quarantined, "
@@ -126,17 +148,110 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"sweep {status['name']}: {status['total']} task(s)  "
           f"done={counts['done']} quarantined={counts['quarantined']} "
           f"leased={counts['leased']} pending={counts['pending']}")
+    lease_by_key = {info["key"]: info
+                    for info in status.get("lease_info", [])}
     for shard, info in status["shards"].items():
-        holder = f"  worker={info['worker']}" if info["worker"] else ""
+        holder = ""
+        if info["worker"]:
+            # Heartbeat *age*, not the raw renewal timestamp: the
+            # operator question is "is this worker alive", and an age
+            # answers it without mental clock arithmetic.
+            holder = f"  worker={info['worker']}"
+            lease = lease_by_key.get(_shard_key(int(shard)))
+            if lease is not None and isinstance(
+                    lease.get("age_s"), (int, float)):
+                holder += f" heartbeat {lease['age_s']:.1f}s ago"
         print(f"  shard {shard}: {info['done']}/{info['total']} done"
               + (f"  quarantined={info['quarantined']}"
                  if info["quarantined"] else "") + holder)
+    for info in status.get("lease_info", []):
+        if not info["expired"]:
+            continue
+        age = (f"{info['age_s']:.1f}s"
+               if isinstance(info.get("age_s"), (int, float))
+               else "unknown")
+        print(f"  lease {info['key']}: worker={info['worker']} "
+              f"EXPIRED (heartbeat {age} ago, expiry "
+              f"{info['expiry_s']:.0f}s; resume would reclaim it)")
     for fingerprint, record in sorted(sweep.quarantined().items()):
         failed = record.get("failed", {})
         print(f"  quarantined {record.get('label', fingerprint)}: "
               f"{failed.get('error', '?')} "
               f"(attempts={failed.get('attempts', '?')})")
     return 0
+
+
+def _render_watch(doc: Dict[str, Any]) -> str:
+    """The terminal rendering of one aggregate document."""
+    counts = doc["counts"]
+    totals = doc["totals"]
+    lines = [f"sweep {doc['sweep']}: {counts['done']}/{doc['total']} "
+             f"done  quarantined={counts['quarantined']} "
+             f"leased={counts['leased']} pending={counts['pending']}"]
+    summary = []
+    if doc["cache_hit_ratio"] is not None:
+        summary.append(f"cache hits {doc['cache_hit_ratio']:.0%}")
+    if doc["eta_s"] is not None:
+        summary.append("ETA done" if doc["eta_s"] == 0
+                       else f"ETA ~{doc['eta_s']:.0f}s")
+    if totals["lease_expiries"] or totals["lease_lost"]:
+        summary.append(f"lease expiries={totals['lease_expiries']} "
+                       f"lost={totals['lease_lost']}")
+    if summary:
+        lines.append("  " + "  ".join(summary))
+    if doc["workers"]:
+        lines.append(f"  {'worker':<14} {'shards':<18} {'hb age':>7} "
+                     f"{'done':>5} {'quar':>5} {'t/min':>6}  last task")
+        for row in doc["workers"]:
+            shards = ",".join(key.replace("shard-", "")
+                              for key in row["shards"]) or "-"
+            if row["lease_expired"]:
+                shards += "!"
+            age = (f"{row['heartbeat_age_s']:.0f}s"
+                   if row["heartbeat_age_s"] is not None else "-")
+            rate = (f"{row['tasks_per_min']:.1f}"
+                    if row["tasks_per_min"] is not None else "-")
+            last = (row["last_task"]["label"]
+                    if row["last_task"] is not None else "-")
+            lines.append(f"  {row['worker']:<14} {shards:<18} "
+                         f"{age:>7} {row['completed']:>5} "
+                         f"{row['quarantined']:>5} {rate:>6}  {last}")
+    if doc["snapshot_errors"]:
+        lines.append("  unreadable snapshot(s): "
+                     + ", ".join(doc["snapshot_errors"]))
+    integrity = doc["integrity"]
+    lines.append(f"  integrity: missing={integrity['missing_results']} "
+                 f"orphans={integrity['orphan_results']}")
+    return "\n".join(lines)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from ..obs.aggregate import fleet_view
+    if args.json and not args.once:
+        _print("error: --json requires --once (one canonical "
+               "document, not a stream)")
+        return 2
+    sweep = SweepDir(args.directory)
+    while True:
+        try:
+            doc = fleet_view(sweep)
+        except ManifestError as exc:
+            _print(f"error: {exc}")
+            return 2
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        if not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_watch(doc), flush=True)
+        finished = (doc["counts"]["pending"] == 0
+                    and doc["counts"]["leased"] == 0)
+        if args.once or finished:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _spawn_workers(directory: str, count: int,
@@ -301,6 +416,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="stable worker name (default: w<pid>)")
     p_work.add_argument("--max-tasks", type=int,
                         help="stop after completing this many tasks")
+    p_work.add_argument("--spans", action="store_true",
+                        help="record lifecycle spans to "
+                             "metrics/<worker>.spans.jsonl")
     _add_worker_options(p_work)
     p_work.set_defaults(handler=_cmd_work)
 
@@ -309,6 +427,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_status.add_argument("directory")
     p_status.add_argument("--json", action="store_true")
     p_status.set_defaults(handler=_cmd_status)
+
+    p_watch = sub.add_parser(
+        "watch", help="refresh-loop fleet view: per-worker progress, "
+                      "heartbeats, throughput, ETA")
+    p_watch.add_argument("directory")
+    p_watch.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between refreshes (default 2)")
+    p_watch.add_argument("--once", action="store_true",
+                         help="print one view and exit")
+    p_watch.add_argument("--json", action="store_true",
+                         help="with --once: print the canonical "
+                              "aggregate document as JSON")
+    p_watch.set_defaults(handler=_cmd_watch)
 
     p_resume = sub.add_parser(
         "resume", help="break expired leases and finish the sweep")

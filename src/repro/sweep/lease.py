@@ -212,6 +212,36 @@ class LeaseStore:
                 out.append(record)
         return out
 
+    def describe(self) -> List[Dict[str, Any]]:
+        """One row per lease file — expired ones included, flagged.
+
+        Unlike :meth:`active`, this is the *watch-view* reading: the
+        operator wants to see a stale lease (with its heartbeat age)
+        precisely because :meth:`break_expired` would reclaim it.
+        ``age_s`` is seconds since the last heartbeat on this store's
+        clock (None when the record carries no usable timestamp, which
+        also marks it expired).
+        """
+        out = []
+        for path in sorted(self.directory.glob("*.lease")):
+            record = self.read(path.stem)
+            if record is None:
+                continue
+            renewed = record.get("renewed_unix")
+            age_s: Optional[float] = None
+            if isinstance(renewed, (int, float)) \
+                    and not isinstance(renewed, bool):
+                age_s = max(0.0, self._clock() - float(renewed))
+            out.append({
+                "key": str(record.get("key", path.stem)),
+                "worker": str(record.get("worker_id", "")),
+                "age_s": age_s,
+                "expiry_s": float(record.get("expiry_s",
+                                             self.expiry_s)),
+                "expired": self.is_expired(record),
+            })
+        return out
+
     def break_expired(self) -> int:
         """Unlink every expired lease; returns how many were broken."""
         broken = 0

@@ -369,12 +369,23 @@ class SweepDir:
                 continue
         return out
 
-    def status(self) -> Dict[str, Any]:
-        """The sweep's full progress, computed from the directory alone."""
+    def status(self, clock: Optional[Callable[[], float]] = None
+               ) -> Dict[str, Any]:
+        """The sweep's full progress, computed from the directory alone.
+
+        ``clock`` (wall seconds) is injectable so tests can pin lease
+        heartbeat ages; None uses the lease store's wall clock.  The
+        returned ``lease_info`` lists *every* lease file — expired ones
+        flagged, with heartbeat ages — while ``leases``/``shards`` keep
+        counting only live ones, as before.
+        """
         from .lease import LeaseStore
         manifest = self.load_manifest()
-        store = LeaseStore(self.lease_dir)
-        leased = {record["key"]: record for record in store.active()}
+        store = LeaseStore(self.lease_dir) if clock is None else \
+            LeaseStore(self.lease_dir, clock=clock)
+        lease_info = store.describe()
+        leased = {info["key"]: info for info in lease_info
+                  if not info["expired"]}
         shards: Dict[int, Dict[str, Any]] = {}
         counts = {"done": 0, "quarantined": 0, "leased": 0,
                   "pending": 0}
@@ -394,14 +405,15 @@ class SweepDir:
             shard["total"] += 1
             if state in ("done", "quarantined"):
                 shard[state] += 1
-            record = leased.get(_shard_key(task.shard))
-            if record is not None:
-                shard["worker"] = record.get("worker_id")
+            info = leased.get(_shard_key(task.shard))
+            if info is not None:
+                shard["worker"] = info["worker"]
         return {"name": manifest.name,
                 "total": len(manifest.tasks),
                 "counts": counts,
                 "shards": {str(k): v for k, v in sorted(shards.items())},
-                "leases": sorted(leased)}
+                "leases": sorted(leased),
+                "lease_info": lease_info}
 
 
 def _shard_key(shard: int) -> str:

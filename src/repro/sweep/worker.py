@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..experiments.parallel import (FailedRun, _backoff_delays,
                                     _call_task, _no_retry)
 from ..faults.watchdog import RunAborted
+from ..obs import spans as obs_spans
 from ..obs.metrics import MetricsRegistry, record_sweep
 from .lease import Lease, LeaseStore
 from .manifest import ManifestTask, SweepDir, _shard_key
@@ -143,11 +144,22 @@ class SweepWorker:
                      worker=self.config.worker_id, amount=amount)
 
     def _write_metrics(self) -> None:
+        """Atomically publish this worker's live metrics snapshot.
+
+        Called after every finished task (and at exit) so ``sweep
+        watch`` always reads a current, whole document: the snapshot is
+        staged to a worker-unique temp file and renamed into place, and
+        stamped with ``captured_at`` so readers can judge staleness.
+        """
         try:
             self.sweep.metrics_dir.mkdir(parents=True, exist_ok=True)
-            self.registry.write_json(str(
-                self.sweep.metrics_dir
-                / f"{self.config.worker_id}.json"))
+            path = (self.sweep.metrics_dir
+                    / f"{self.config.worker_id}.json")
+            temp = path.with_name(path.name + f".tmp-{os.getpid()}")
+            self.registry.write_json(
+                str(temp),
+                captured_at=time.monotonic())  # simlint: allow[D103] snapshot staleness stamp
+            os.replace(temp, path)
         except OSError:
             pass    # Metrics are best-effort; never fail the sweep.
 
@@ -170,6 +182,10 @@ class SweepWorker:
             for signum in (signal.SIGTERM, signal.SIGINT):
                 previous[signum] = signal.signal(
                     signum, self._raise_shutdown)
+        # Host-level lifecycle span over the whole worker run (None
+        # when no bus carries the span topic — the default).
+        sweep_span = obs_spans.open_span("sweep", manifest.name,
+                                         sim_clock=False)
         try:
             self._loop(manifest.shards(), store, cache, report)
         except SweepShutdown as exc:
@@ -179,6 +195,11 @@ class SweepWorker:
                        f"already flushed")
             self._count("interrupts")
         finally:
+            if sweep_span is not None:
+                sweep_span.count = report.completed
+                obs_spans.close_span(
+                    sweep_span,
+                    status="error" if report.interrupted else "ok")
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
             report.lease_expiries = store.expired_claims
@@ -187,6 +208,8 @@ class SweepWorker:
             self.registry.gauge(
                 "sweep_worker_completed",
                 worker=self.config.worker_id).set(report.completed)
+            self._count("inflight_shards", 0)
+            self._count("quarantine_depth", report.quarantined)
             self._write_metrics()
         return report
 
@@ -233,6 +256,8 @@ class SweepWorker:
                    report: WorkerReport) -> None:
         self._emit(f"claimed {_shard_key(shard)} "
                    f"({len(tasks)} runnable task(s))")
+        self._count("inflight_shards", 1)
+        self._write_metrics()
         interval = lease.expiry_s / HEARTBEAT_FRACTION
         heartbeat: Any
         if self.config.heartbeat:
@@ -240,27 +265,52 @@ class SweepWorker:
         else:
             from contextlib import nullcontext
             heartbeat = nullcontext()
-        with heartbeat:
-            for task in tasks:
-                if self.sweep.is_done(task.fingerprint):
-                    continue    # A twin finished it while we held on.
-                if getattr(heartbeat, "lost", False):
-                    # Our lease was stolen (we must have stalled past
-                    # expiry).  Finishing the current task was safe —
-                    # results are idempotent — but racing the new
-                    # owner through the rest of the shard is waste.
-                    report.lease_lost += 1
-                    self._count("lease_lost")
-                    self._emit(f"lost lease on {_shard_key(shard)}; "
-                               f"abandoning the shard")
-                    return
-                self._run_task(task, cache, report)
-                if (self.config.max_tasks is not None
-                        and report.completed >= self.config.max_tasks):
-                    return
+        try:
+            self._run_shard_tasks(shard, tasks, heartbeat, cache,
+                                  report)
+        finally:
+            self._count("inflight_shards", 0)
+            self._write_metrics()
+
+    def _run_shard_tasks(self, shard: int, tasks: List[ManifestTask],
+                         heartbeat: Any, cache: Any,
+                         report: WorkerReport) -> None:
+        with obs_spans.span("shard", _shard_key(shard),
+                            sim_clock=False) as shard_span:
+            if shard_span is not None:
+                shard_span.count = len(tasks)
+            with heartbeat:
+                for task in tasks:
+                    if self.sweep.is_done(task.fingerprint):
+                        continue  # A twin finished it while we held on.
+                    if getattr(heartbeat, "lost", False):
+                        # Our lease was stolen (we must have stalled
+                        # past expiry).  Finishing the current task was
+                        # safe — results are idempotent — but racing
+                        # the new owner through the rest of the shard
+                        # is waste.
+                        report.lease_lost += 1
+                        self._count("lease_lost")
+                        self._emit(f"lost lease on "
+                                   f"{_shard_key(shard)}; "
+                                   f"abandoning the shard")
+                        return
+                    self._run_task(task, cache, report)
+                    if (self.config.max_tasks is not None
+                            and report.completed
+                            >= self.config.max_tasks):
+                        return
 
     def _run_task(self, mtask: ManifestTask, cache: Any,
                   report: WorkerReport) -> None:
+        with obs_spans.span("task", mtask.label,
+                            sim_clock=False) as task_span:
+            self._attempt_task(mtask, cache, report, task_span)
+
+    def _attempt_task(self, mtask: ManifestTask, cache: Any,
+                      report: WorkerReport,
+                      task_span: Optional[obs_spans.SpanHandle]
+                      ) -> None:
         task = mtask.task()
         delays = _backoff_delays(mtask.fingerprint or task.label,
                                  self.config.retries,
@@ -298,11 +348,15 @@ class SweepWorker:
             cache.store(mtask.fingerprint, task.kind, task.label,
                         task.encode(envelope["value"]))
             report.completed += 1
+            if task_span is not None:
+                task_span.count = 1
             self._count("tasks_completed")
+            self._count("last_task_index", mtask.index)
             self.registry.histogram(
                 "sweep_task_wall_seconds",
                 worker=self.config.worker_id).observe(
                     envelope["elapsed_s"])
+            self._write_metrics()
             self._emit(f"done   {task.label}  "
                        f"wall {envelope['elapsed_s']:.2f}s")
             return
@@ -324,5 +378,7 @@ class SweepWorker:
         report.quarantined += 1
         report.failures.append(failed.to_dict())
         self._count("tasks_quarantined")
+        self._count("quarantine_depth", report.quarantined)
+        self._write_metrics()
         self._emit(f"QUARANTINED {mtask.label} after {attempts} "
                    f"attempt(s): {exc}")

@@ -1,0 +1,223 @@
+"""Cross-worker aggregation: snapshot merging and the fleet view."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.aggregate import (AGGREGATE_SCHEMA_VERSION, fleet_view,
+                                 merge_snapshots, read_worker_snapshots)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMergeSnapshots:
+    def test_empty_input_is_empty_registry(self):
+        merged = merge_snapshots([])
+        assert merged.snapshot() == MetricsRegistry().snapshot()
+
+    def test_empty_registry_snapshot_merges(self):
+        merged = merge_snapshots([MetricsRegistry().snapshot()])
+        assert merged.snapshot() == MetricsRegistry().snapshot()
+
+    def test_single_worker_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("sweep_tasks_completed_total",
+                         worker="w0").inc(3)
+        registry.gauge("sweep_inflight_shards", worker="w0").set(1)
+        registry.histogram("sweep_task_wall_seconds",
+                           bounds=[1.0, 2.0], worker="w0").observe(1.5)
+        snapshot = registry.snapshot()
+        assert merge_snapshots([snapshot]).snapshot() == snapshot
+
+    def test_counters_sum_and_disjoint_labels_survive(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("sweep_tasks_completed_total", worker="w0").inc(2)
+        one.counter("sim_runs_total").inc(5)
+        two.counter("sweep_tasks_completed_total", worker="w1").inc(3)
+        two.counter("sim_runs_total").inc(7)
+        merged = merge_snapshots([one.snapshot(), two.snapshot()])
+        assert merged.counter("sim_runs_total").value == 12
+        assert merged.counter("sweep_tasks_completed_total",
+                              worker="w0").value == 2
+        assert merged.counter("sweep_tasks_completed_total",
+                              worker="w1").value == 3
+
+    def test_gauges_merge_by_max_order_independent(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.gauge("sweep_quarantine_depth").set(4)
+        two.gauge("sweep_quarantine_depth").set(1)
+        forward = merge_snapshots([one.snapshot(), two.snapshot()])
+        backward = merge_snapshots([two.snapshot(), one.snapshot()])
+        assert forward.gauge("sweep_quarantine_depth").value == 4
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_histograms_merge_over_union_of_bounds(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        coarse = one.histogram("sweep_task_wall_seconds",
+                               bounds=[1.0, 2.0])
+        coarse.observe(0.5)
+        coarse.observe(1.5)
+        fine = two.histogram("sweep_task_wall_seconds",
+                             bounds=[2.0, 4.0])
+        fine.observe(3.0)
+        fine.observe(10.0)    # overflow
+        merged = merge_snapshots([one.snapshot(), two.snapshot()])
+        rows = merged.snapshot()["histograms"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["bounds"] == [1.0, 2.0, 4.0]
+        # Each source bucket lands at its own bound's union position;
+        # overflow stays overflow; sum/count are exact.
+        assert row["counts"] == [1, 1, 1, 1]
+        assert row["sum"] == pytest.approx(15.0)
+        assert row["count"] == 4
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            merge_snapshots([{"schema_version": 99}])
+
+
+class TestReadWorkerSnapshots:
+    def test_missing_directory_is_empty(self, tmp_path):
+        snapshots, errors = read_worker_snapshots(tmp_path / "nope")
+        assert snapshots == {} and errors == []
+
+    def test_reads_skips_and_reports(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("sim_runs_total").inc(1)
+        registry.write_json(str(tmp_path / "w0.json"))
+        (tmp_path / "torn.json").write_text('{"schema_version": 1, "co')
+        (tmp_path / "foreign.json").write_text(
+            json.dumps({"schema_version": 99}))
+        # In-progress atomic writes never match the *.json glob.
+        (tmp_path / "w1.json.tmp-123").write_text("{}")
+        snapshots, errors = read_worker_snapshots(tmp_path)
+        assert list(snapshots) == ["w0"]
+        assert sorted(errors) == ["foreign.json", "torn.json"]
+
+
+def fake_sweep(tmp_path, counts, lease_info, fingerprints):
+    (tmp_path / "metrics").mkdir(exist_ok=True)
+    (tmp_path / "cache").mkdir(exist_ok=True)
+    tasks = [SimpleNamespace(index=i, label=f"t{i}", fingerprint=f)
+             for i, f in enumerate(fingerprints)]
+    status = {"name": "fake", "total": len(tasks),
+              "counts": counts, "lease_info": lease_info}
+    return SimpleNamespace(
+        metrics_dir=tmp_path / "metrics",
+        cache_dir=tmp_path / "cache",
+        status=lambda clock=None: dict(status),
+        load_manifest=lambda: SimpleNamespace(tasks=tasks))
+
+
+class TestFleetView:
+    def test_aggregates_workers_leases_and_integrity(self, tmp_path):
+        sweep = fake_sweep(
+            tmp_path,
+            counts={"done": 2, "pending": 1, "leased": 1,
+                    "quarantined": 0},
+            lease_info=[
+                {"key": "shard-00002", "worker": "w0", "age_s": 1.5,
+                 "expiry_s": 300.0, "expired": False},
+                {"key": "shard-00003", "worker": "w1", "age_s": 400.0,
+                 "expiry_s": 300.0, "expired": True},
+            ],
+            fingerprints=["f0", "f1", "f2", "f3"])
+        for name in ("f0", "f1", "orphan"):
+            (tmp_path / "cache" / f"{name}.json").write_text("{}")
+        registry = MetricsRegistry()
+        registry.counter("sweep_tasks_completed_total",
+                         worker="w0").inc(2)
+        histogram = registry.histogram("sweep_task_wall_seconds",
+                                       worker="w0")
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        registry.gauge("sweep_last_task_index", worker="w0").set(1)
+        registry.write_json(str(tmp_path / "metrics" / "w0.json"),
+                            captured_at=12.5)
+
+        doc = fleet_view(sweep)
+        assert doc["aggregate_version"] == AGGREGATE_SCHEMA_VERSION
+        assert doc["sweep"] == "fake" and doc["total"] == 4
+        assert doc["totals"]["tasks_completed"] == 2
+        # Both done results were computed here: no cache warm start.
+        assert doc["cache_hit_ratio"] == 0.0
+        # 2 remaining tasks / 1 live worker at 3 s/task mean.
+        assert doc["eta_s"] == pytest.approx(6.0)
+        assert doc["integrity"] == {"missing_results": 2,
+                                    "orphan_results": 1}
+        assert doc["snapshot_errors"] == []
+        (row,) = doc["workers"]
+        assert row["worker"] == "w0"
+        assert row["completed"] == 2
+        assert row["busy_s"] == pytest.approx(6.0)
+        assert row["tasks_per_min"] == pytest.approx(20.0)
+        assert row["last_task"] == {"index": 1, "label": "t1",
+                                    "fingerprint": "f1"}
+        assert row["captured_at"] == 12.5
+        assert row["shards"] == ["shard-00002"]
+        assert row["heartbeat_age_s"] == 1.5
+        assert row["lease_expired"] is False
+
+    def test_finished_sweep_is_byte_stable(self, tmp_path):
+        sweep = fake_sweep(
+            tmp_path,
+            counts={"done": 1, "pending": 0, "leased": 0,
+                    "quarantined": 0},
+            lease_info=[], fingerprints=["f0"])
+        (tmp_path / "cache" / "f0.json").write_text("{}")
+        registry = MetricsRegistry()
+        registry.counter("sweep_tasks_completed_total",
+                         worker="w0").inc(1)
+        registry.write_json(str(tmp_path / "metrics" / "w0.json"))
+        first = json.dumps(fleet_view(sweep), sort_keys=True)
+        second = json.dumps(fleet_view(sweep), sort_keys=True)
+        assert first == second
+        doc = json.loads(first)
+        assert doc["eta_s"] == 0.0
+        assert doc["integrity"] == {"missing_results": 0,
+                                    "orphan_results": 0}
+
+    def test_no_snapshots_yet(self, tmp_path):
+        sweep = fake_sweep(
+            tmp_path,
+            counts={"done": 0, "pending": 2, "leased": 0,
+                    "quarantined": 0},
+            lease_info=[], fingerprints=["f0", "f1"])
+        doc = fleet_view(sweep)
+        assert doc["workers"] == []
+        assert doc["cache_hit_ratio"] is None
+        assert doc["eta_s"] is None    # no throughput sample yet
+        assert doc["totals"]["tasks_completed"] == 0
+
+    def test_cache_hits_counted(self, tmp_path):
+        # 3 done, only 1 computed by a live worker: 2 warm-start hits.
+        sweep = fake_sweep(
+            tmp_path,
+            counts={"done": 3, "pending": 0, "leased": 0,
+                    "quarantined": 0},
+            lease_info=[], fingerprints=["f0", "f1", "f2"])
+        for name in ("f0", "f1", "f2"):
+            (tmp_path / "cache" / f"{name}.json").write_text("{}")
+        registry = MetricsRegistry()
+        registry.counter("sweep_tasks_completed_total",
+                         worker="w0").inc(1)
+        registry.write_json(str(tmp_path / "metrics" / "w0.json"))
+        doc = fleet_view(sweep)
+        assert doc["cache_hit_ratio"] == pytest.approx(2 / 3, abs=1e-4)
+
+
+class TestRecordSweepGauges:
+    def test_gauges_set_not_summed(self):
+        registry = MetricsRegistry()
+        obs_metrics.record_sweep(registry, "inflight_shards",
+                                 worker="w0", amount=1)
+        obs_metrics.record_sweep(registry, "inflight_shards",
+                                 worker="w0", amount=0)
+        assert registry.gauge("sweep_inflight_shards",
+                              worker="w0").value == 0
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep event"):
+            obs_metrics.record_sweep(MetricsRegistry(), "nonsense")

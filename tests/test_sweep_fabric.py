@@ -444,6 +444,83 @@ class TestSweepCli:
         names = {m["name"] for m in metrics["counters"]}
         assert "sweep_resumes_total" in names
 
+    def test_watch_once_json_byte_stable(self, tmp_path, suite_dir,
+                                         capsys):
+        from repro.sweep.cli import main
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["init", sweep_dir, "--suite",
+                     str(suite_dir)]) == 0
+        assert main(["resume", sweep_dir, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["watch", sweep_dir, "--once", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["watch", sweep_dir, "--once", "--json"]) == 0
+        second = capsys.readouterr().out
+        # The canonical aggregate document: byte-stable on a finished
+        # sweep (no live leases, wall clock out of the picture).
+        assert first == second
+        doc = json.loads(first)
+        assert doc["counts"]["done"] == doc["total"] == 1
+        assert doc["eta_s"] == 0.0
+        assert doc["integrity"] == {"missing_results": 0,
+                                    "orphan_results": 0}
+        assert doc["snapshot_errors"] == []
+        completed = {row["worker"]: row["completed"]
+                     for row in doc["workers"]}
+        assert any(count == 1 for count in completed.values())
+
+    def test_watch_json_requires_once(self, tmp_path, suite_dir,
+                                      capsys):
+        from repro.sweep.cli import main
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["init", sweep_dir, "--suite",
+                     str(suite_dir)]) == 0
+        assert main(["watch", sweep_dir, "--json"]) == 2
+        capsys.readouterr()
+
+    def test_watch_text_renders_fleet(self, tmp_path, suite_dir,
+                                      capsys):
+        from repro.sweep.cli import main
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["init", sweep_dir, "--suite",
+                     str(suite_dir)]) == 0
+        assert main(["resume", sweep_dir, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["watch", sweep_dir, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done" in out
+        assert "worker" in out
+
+    def test_status_prints_heartbeat_and_expired_leases(
+            self, tmp_path, suite_dir, capsys):
+        from repro.sweep.cli import main
+        sweep_dir = tmp_path / "sweep"
+        assert main(["init", str(sweep_dir), "--suite",
+                     str(suite_dir)]) == 0
+        now = [1000.0]
+        store = LeaseStore(sweep_dir / "leases", expiry_s=300,
+                           clock=lambda: now[0])
+        assert store.claim("shard-00000", "hb-w0") is not None
+        now[0] += 12.0
+        status = SweepDir(sweep_dir).status(clock=lambda: now[0])
+        (info,) = status["lease_info"]
+        assert info["worker"] == "hb-w0"
+        assert info["age_s"] == pytest.approx(12.0)
+        assert info["expired"] is False
+        # Past expiry the lease is flagged but still listed.
+        now[0] += 400.0
+        status = SweepDir(sweep_dir).status(clock=lambda: now[0])
+        (info,) = status["lease_info"]
+        assert info["expired"] is True
+        capsys.readouterr()
+        # The CLI renders the age on live shards and names expired
+        # leases (its clock is real wall time: the decade-old stamp
+        # is long expired).
+        assert main(["status", str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPIRED" in out
+        assert "resume would reclaim it" in out
+
     def test_suite_fabric_flag(self, tmp_path, suite_dir, capsys):
         from repro.suite.cli import main
         fabric_dir = str(tmp_path / "fabric")

@@ -1,0 +1,25 @@
+"""Fold BENCH_*.json artifacts into one trend table (CI entry point).
+
+Usage::
+
+    python tools/bench_trend.py BENCH_hotpath.json BENCH_hybrid.json \
+        BENCH_obs_overhead.json \
+        --baseline benchmarks/BENCH_hotpath_baseline.json \
+        --out BENCH_trend.json --markdown BENCH_trend.md
+
+Thin wrapper over :func:`repro.experiments.bench_trend.report_main`
+(also reachable as ``cebinae-repro bench report``); see that module
+for the artifact shapes and the normalised-ratio flagging rule.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.bench_trend import report_main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(report_main(sys.argv[1:]))

@@ -27,6 +27,8 @@ Usage: PYTHONPATH=src python tools/chaos_smoke.py [--out-dir DIR]
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import json
 import os
 import shutil
@@ -94,6 +96,16 @@ def wait_for_done(sweep_dir: Path, minimum: int, timeout_s: float,
         f"timed out waiting for {minimum} completed task(s)")
 
 
+def watch_json(sweep_dir: Path):
+    """One ``sweep watch --once --json`` pass: (document, raw text)."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = sweep_main(["watch", str(sweep_dir), "--once", "--json"])
+    assert code == 0, f"watch of {sweep_dir} exited {code}"
+    text = buffer.getvalue()
+    return json.loads(text), text
+
+
 def merge(sweep_dir: Path, out: Path) -> dict:
     code = sweep_main(["merge", str(sweep_dir), "--out", str(out)])
     assert code == 0, f"merge of {sweep_dir} exited {code}"
@@ -141,6 +153,14 @@ def run_drill(root: Path, out_dir: Path, duration_s: float) -> None:
     assert interrupted["counts"]["done"] < total, \
         "murder schedule failed to interrupt the sweep; raise --duration"
 
+    # Mid-flight fleet view: the watch aggregate must agree with the
+    # sweep's own status even over a half-murdered metrics directory.
+    watch_mid, watch_mid_text = watch_json(victim_dir)
+    assert watch_mid["counts"] == interrupted["counts"], \
+        (watch_mid["counts"], interrupted["counts"])
+    assert watch_mid["total"] == total
+    (out_dir / "watch_post_murder.json").write_text(watch_mid_text)
+
     # 4. Resume and verify every guarantee.
     assert sweep_main(["resume", str(victim_dir), "--workers", "2",
                        "--quiet"]) == 0
@@ -159,6 +179,24 @@ def run_drill(root: Path, out_dir: Path, duration_s: float) -> None:
     assert entries == fingerprints, (
         f"cache entries != manifest: extra={entries - fingerprints} "
         f"missing={fingerprints - entries}")
+
+    # Post-resume fleet view: nothing lost, nothing duplicated, and
+    # the canonical --once --json document is byte-stable on a
+    # quiescent sweep (no live leases, wall clock out of the picture).
+    watch_final, watch_final_text = watch_json(victim_dir)
+    assert watch_final["counts"] == final["counts"], \
+        (watch_final["counts"], final["counts"])
+    assert watch_final["counts"]["done"] == total
+    assert watch_final["integrity"] == {"missing_results": 0,
+                                        "orphan_results": 0}, \
+        watch_final["integrity"]
+    assert watch_final["snapshot_errors"] == []
+    _, watch_again_text = watch_json(victim_dir)
+    assert watch_again_text == watch_final_text, \
+        "watch --once --json is not byte-stable on a finished sweep"
+    (out_dir / "watch_final.json").write_text(watch_final_text)
+    print(f"[chaos] watch aggregate: 0 lost, 0 duplicated "
+          f"({total} task(s) accounted for)")
 
     merged = merge(victim_dir, out_dir / "merged_resumed.json")
     assert merged["results"] == reference["results"], \

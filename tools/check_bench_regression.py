@@ -20,93 +20,23 @@ benchmark against its peers and is exactly what the ratio catches.
 
 ``--update`` rewrites the baseline from the current results (run it
 locally after an intentional perf change and commit the diff).
+
+The comparison logic lives in :mod:`repro.experiments.bench_trend`
+(shared with ``cebinae-repro bench report``); this script is the thin
+CI gate over it.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
 import sys
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import List, Optional
 
-#: Baseline document version; bump on layout changes.
-BASELINE_SCHEMA_VERSION = 1
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-
-def load_medians(path: str) -> Dict[str, float]:
-    """Per-benchmark median seconds from either file format.
-
-    Accepts a raw pytest-benchmark JSON document (``benchmarks`` list)
-    or a baseline written by ``--update`` (``medians`` mapping).
-    """
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    if "medians" in data:
-        version = data.get("schema_version")
-        if version != BASELINE_SCHEMA_VERSION:
-            raise ValueError(
-                f"{path}: baseline schema_version {version!r} is not "
-                f"{BASELINE_SCHEMA_VERSION}")
-        return {str(name): float(value)
-                for name, value in data["medians"].items()}
-    medians: Dict[str, float] = {}
-    for bench in data.get("benchmarks", ()):
-        medians[str(bench["name"])] = float(bench["stats"]["median"])
-    if not medians:
-        raise ValueError(f"{path}: no benchmarks found")
-    return medians
-
-
-def write_baseline(path: str, medians: Dict[str, float]) -> None:
-    document = {
-        "schema_version": BASELINE_SCHEMA_VERSION,
-        "note": "normalised-ratio baseline for "
-                "tools/check_bench_regression.py; regenerate with "
-                "--update after intentional perf changes",
-        "medians": {name: medians[name] for name in sorted(medians)},
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
-def normalised(medians: Dict[str, float],
-               names: List[str]) -> Dict[str, float]:
-    """Each median divided by the geomean over ``names``."""
-    logs = [math.log(medians[name]) for name in names
-            if medians[name] > 0]
-    if not logs:
-        raise ValueError("no positive medians to normalise against")
-    geomean = math.exp(sum(logs) / len(logs))
-    return {name: medians[name] / geomean for name in names}
-
-
-def compare(current: Dict[str, float], baseline: Dict[str, float],
-            threshold: float) -> List[str]:
-    """Human-readable failures (empty = gate passes)."""
-    common = sorted(set(current) & set(baseline))
-    if not common:
-        return ["no benchmarks in common between current run and "
-                "baseline"]
-    current_norm = normalised(current, common)
-    baseline_norm = normalised(baseline, common)
-    failures: List[str] = []
-    for name in common:
-        ratio = current_norm[name] / baseline_norm[name]
-        marker = "REGRESSION" if ratio > 1.0 + threshold else "ok"
-        print(f"  {name:<50} x{ratio:5.2f}  {marker}")
-        if ratio > 1.0 + threshold:
-            failures.append(
-                f"{name}: normalised cost x{ratio:.2f} exceeds "
-                f"+{threshold:.0%} threshold")
-    only_baseline = sorted(set(baseline) - set(current))
-    if only_baseline:
-        print(f"  (baseline-only, skipped: {', '.join(only_baseline)})")
-    only_current = sorted(set(current) - set(baseline))
-    if only_current:
-        print(f"  (new, unbaselined: {', '.join(only_current)})")
-    return failures
+from repro.experiments.bench_trend import (  # noqa: E402
+    compare, load_medians, write_baseline)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -5,13 +5,19 @@ Replays the observability contract on a figure-9-class scenario:
 
 1. **Off-path purity** — running with the trace bus installed produces
    a ``ScenarioResult`` JSON byte-identical to a run without it, on
-   both scheduler backends: tracing observes the simulation, never
-   perturbs it.
+   both scheduler backends and with ``REPRO_DEBUG`` invariants on:
+   tracing observes the simulation, never perturbs it.
 2. **Trace determinism** — with tracing on, repeated runs and both
-   scheduler backends emit byte-identical JSONL streams.
+   scheduler backends emit byte-identical JSONL streams, after
+   :func:`repro.obs.events.canonical_dict` strips the schema's one
+   sanctioned wall-clock field (``SpanEvent.wall_s``).
 3. **Schema validity** — every emitted line round-trips through
    :func:`repro.obs.events.validate_record`.
-4. **Overhead accounting** — wall-clock for the plain, bus-installed
+4. **Span structure** — the emitted spans form a valid tree
+   (:func:`repro.obs.spans.span_tree`) with exactly one ``run`` root
+   whose direct ``phase`` children account for the run's wall time to
+   within 5%.
+5. **Overhead accounting** — wall-clock for the plain, bus-installed
    (all topics), and metrics-enabled runs lands in
    ``BENCH_obs_overhead.json`` (pytest-benchmark envelope) so the
    disabled-path ≤2% budget is reviewable per PR.
@@ -33,11 +39,13 @@ from typing import List, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.analysis import invariants
 from repro.experiments.runner import Discipline, run_scenario
 from repro.experiments.scenarios import DEFAULT_POLICY, ScenarioSpec
 from repro.obs import bus as obs_bus
 from repro.obs import metrics as obs_metrics
-from repro.obs.events import TOPICS, validate_record
+from repro.obs import spans as obs_spans
+from repro.obs.events import TOPICS, canonical_dict, validate_record
 from repro.obs.sinks import MemorySink, encode_record
 
 
@@ -69,6 +77,43 @@ def run_once(duration_s: float, traced: bool,
     return payload, [encode_record(r) for r in sink.records], wall_s
 
 
+def canonical(lines: List[str]) -> List[str]:
+    """Trace lines minus their sanctioned wall-clock fields."""
+    return [json.dumps(canonical_dict(json.loads(line)),
+                       sort_keys=True, separators=(",", ":"))
+            for line in lines]
+
+
+def check_span_tree(lines: List[str]) -> int:
+    """Validate span structure; returns the number of span records."""
+    records = [json.loads(line) for line in lines]
+    spans = [data for data in records if data.get("type") == "SpanEvent"]
+    assert spans, "tracing on but no span records"
+    tree = obs_spans.span_tree(spans)    # raises on structural defects
+    roots = [tree["nodes"][root_id] for root_id in tree["roots"]]
+    run_roots = [node for node in roots if node["kind"] == "run"]
+    assert len(run_roots) == 1, \
+        f"expected exactly one run root, got {len(run_roots)}"
+    run = run_roots[0]
+    assert run["status"] == "ok" and run["count"] > 0
+    phases = [tree["nodes"][child] for child in run["children"]
+              if tree["nodes"][child]["kind"] == "phase"]
+    assert phases, "run root has no phase children"
+    phase_wall = sum(node["wall_s"] for node in phases)
+    # The run's wall time is its phases plus negligible glue between
+    # them; 5% is the contract's slack for that glue.
+    assert phase_wall <= run["wall_s"] * 1.0001, \
+        "phase wall-times exceed the run's"
+    assert phase_wall >= run["wall_s"] * 0.95, \
+        (f"phase wall-times ({phase_wall:.4f}s) cover less than 95% "
+         f"of the run ({run['wall_s']:.4f}s)")
+    engines = [node for node in tree["nodes"].values()
+               if node["kind"] == "engine"]
+    assert engines and all(node["name"] == "events" for node in engines), \
+        "engine spans must be named 'events' (backend-neutral)"
+    return len(spans)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--duration", type=float, default=2.0)
@@ -96,18 +141,40 @@ def main(argv=None) -> int:
             f"tracing perturbed the {scheduler} run's ScenarioResult"
         assert trace_lines[scheduler], "tracing on but no records"
 
-    # 2. Trace determinism: rerun + cross-backend byte identity.
+    # 1b. The same purity with REPRO_DEBUG invariants active: debug
+    # checks and tracing may not interact (the instruction streams are
+    # independent by construction; this replays it).
+    previous_debug = invariants.set_debug(True)
+    try:
+        debug_plain, _, _ = run_once(duration, traced=False,
+                                     scheduler="heap")
+        debug_traced, debug_lines, _ = run_once(duration, traced=True,
+                                                scheduler="heap")
+    finally:
+        invariants.set_debug(previous_debug)
+    assert debug_traced == debug_plain, \
+        "tracing perturbed the REPRO_DEBUG run's ScenarioResult"
+    assert canonical(debug_lines) == canonical(trace_lines["heap"]), \
+        "trace JSONL differs between debug and non-debug runs"
+
+    # 2. Trace determinism: rerun + cross-backend identity, after
+    # stripping the sanctioned wall-clock field (SpanEvent.wall_s).
     rerun, rerun_lines, _ = run_once(duration, traced=True,
                                      scheduler="heap")
     assert rerun == traced["heap"]
-    assert rerun_lines == trace_lines["heap"], \
+    assert canonical(rerun_lines) == canonical(trace_lines["heap"]), \
         "trace JSONL differs between identical runs"
-    assert trace_lines["heap"] == trace_lines["calendar"], \
+    assert canonical(trace_lines["heap"]) \
+        == canonical(trace_lines["calendar"]), \
         "trace JSONL differs across scheduler backends"
 
     # 3. Schema validity of every emitted line.
     for line in trace_lines["heap"]:
         validate_record(json.loads(line))
+
+    # 3b. Span structure: valid tree, one run root, phases cover ≥95%
+    # of the run's wall time, backend-neutral engine naming.
+    span_records = check_span_tree(trace_lines["heap"])
 
     # 4. Metrics-enabled run: registry populated, snapshot round-trips.
     registry = obs_metrics.enable()
@@ -131,6 +198,7 @@ def main(argv=None) -> int:
         "extra_info": {
             "duration_s": duration,
             "records": len(trace_lines["heap"]),
+            "span_records": span_records,
             "wall_plain_s": walls["plain", "heap"],
             "wall_traced_s": walls["traced", "heap"],
             "wall_metered_s": walls["metered", "heap"],
@@ -141,9 +209,10 @@ def main(argv=None) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(bench, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"obs smoke OK: {len(trace_lines['heap'])} records, "
-          f"result JSON byte-identical off/on and across backends; "
-          f"overhead written to {args.out}")
+    print(f"obs smoke OK: {len(trace_lines['heap'])} records "
+          f"({span_records} spans), result JSON byte-identical off/on, "
+          f"across backends, and under REPRO_DEBUG; overhead written "
+          f"to {args.out}")
     return 0
 
 
